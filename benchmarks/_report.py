@@ -1,0 +1,33 @@
+"""Report rendering for the benchmark harness.
+
+Every benchmark prints paper-style rows via :func:`print_table`, so a
+``pytest benchmarks/ --benchmark-only -s`` run regenerates the paper's
+tables and figures as text alongside the timing statistics.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Render an aligned text table to stdout (shown with ``-s`` and
+    captured in benchmark logs)."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    out = sys.stdout
+    out.write(f"\n=== {title} ===\n")
+    out.write(line(headers) + "\n")
+    out.write(line(["-" * w for w in widths]) + "\n")
+    for row in rendered:
+        out.write(line(row) + "\n")
+    out.flush()

@@ -1,0 +1,139 @@
+"""Deterministic workload generators shared by the benchmarks.
+
+A theory paper's "workload" is the space of problem instances; these
+generators produce graded families with fixed seeds so every run
+regenerates identical instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constraints.ast import PathConstraint, word
+from repro.monoids.presentation import MonoidPresentation
+from repro.paths import Path
+
+#: The monoid corpus used by the undecidable-cell demonstrations:
+#: (name, presentation, provably-equal pair, provably-unequal pair).
+MONOID_CORPUS = [
+    (
+        "free-commutative",
+        MonoidPresentation("uv", [("u.v", "v.u")]),
+        ("u.v.u", "u.u.v"),
+        ("u.v", "v.v"),
+    ),
+    (
+        "cyclic-3",
+        MonoidPresentation("u", [("u.u.u", "")]),
+        ("u.u.u.u", "u"),
+        ("u.u", "u"),
+    ),
+    (
+        "idempotent",
+        MonoidPresentation("uv", [("u.u", "u"), ("v.v", "v")]),
+        ("u.u.v.v", "u.v"),
+        ("u.v", "v.u"),
+    ),
+    (
+        "free",
+        MonoidPresentation("uv", []),
+        ("u.v", "u.v"),
+        ("u.v", "v.u"),
+    ),
+    (
+        "absorbing",
+        MonoidPresentation("uv", [("u.v", "u"), ("v.u", "u")]),
+        ("u.v.v.v", "u"),
+        ("u", "v"),
+    ),
+]
+
+
+def random_word(rng: random.Random, labels: list[str], max_len: int) -> Path:
+    return Path([rng.choice(labels) for _ in range(rng.randint(1, max_len))])
+
+
+def random_word_constraints(
+    count: int,
+    labels: list[str] | None = None,
+    max_len: int = 4,
+    seed: int = 0,
+) -> list[PathConstraint]:
+    """``count`` random word constraints over ``labels`` (no empty
+    conclusions: the PTIME fragment)."""
+    rng = random.Random(seed)
+    labels = labels or ["a", "b", "c"]
+    return [
+        word(random_word(rng, labels, max_len), random_word(rng, labels, max_len))
+        for _ in range(count)
+    ]
+
+
+def chained_word_constraints(count: int) -> tuple[list[PathConstraint], PathConstraint]:
+    """A worst-case-ish family: a chain x0 -> x1 -> ... whose closure
+    must be followed end to end; the query spans the whole chain with
+    a congruence suffix."""
+    sigma = [word(f"x{i}", f"x{i + 1}.pad") for i in range(count)]
+    query = word(Path.parse("x0.tail"), Path.parse(f"x{count}" + ".pad" * count + ".tail"))
+    return sigma, query
+
+
+def typed_m_workload(
+    class_count: int, constraint_count: int, seed: int = 0
+):
+    """A random M schema plus random valid equivalences over it.
+
+    Returns (schema, sigma, queries): constraints pair random valid
+    paths of equal sort, so the premise set is always satisfiable.
+    """
+    from repro.types.examples import random_m_schema
+    from repro.types.siggen import SchemaSignature
+
+    rng = random.Random(seed)
+    schema = random_m_schema(class_count, labels_per_class=2, seed=seed)
+    signature = SchemaSignature(schema)
+    paths = [p for p in signature.sample_paths(5) if not p.is_empty()]
+    by_sort: dict[object, list[Path]] = {}
+    for path in paths:
+        by_sort.setdefault(signature.type_of_path(path), []).append(path)
+    pools = [group for group in by_sort.values() if len(group) >= 2]
+    sigma = []
+    for _ in range(constraint_count):
+        group = rng.choice(pools)
+        left, right = rng.sample(group, 2)
+        sigma.append(word(left, right))
+    queries = []
+    for _ in range(max(10, constraint_count)):
+        group = rng.choice(pools)
+        left, right = rng.sample(group, 2)
+        queries.append(word(left, right))
+    return schema, sigma, queries
+
+
+def local_extent_workload(decoy_count: int, seed: int = 0):
+    """A fixed MIT-bounded core plus ``decoy_count`` constraints on
+    other local databases (the Sigma_r that Lemma 5.3 proves inert)."""
+    from repro.constraints.ast import backward, forward
+
+    rng = random.Random(seed)
+    core = [
+        forward("MIT", "book.author", "person"),
+        forward("MIT", "person.wrote", "book"),
+        forward("MIT", "book.ref", "book.ref"),
+    ]
+    decoys = []
+    labels = ["book", "person", "author", "wrote", "ref"]
+    for i in range(decoy_count):
+        site = Path.single(f"site{i % 7}")
+        lhs = random_word(rng, labels, 3)
+        rhs = random_word(rng, labels, 3)
+        if rng.random() < 0.5:
+            decoys.append(forward(site, lhs, rhs))
+        else:
+            decoys.append(backward(site, lhs, rhs))
+    queries = [
+        forward("MIT", "book.author.wrote", "book"),
+        forward("MIT", "book.ref", "book"),
+        forward("MIT", "book.ref.author", "person"),
+    ]
+    return core, decoys, queries

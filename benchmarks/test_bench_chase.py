@@ -1,0 +1,109 @@
+"""Chase benchmarks: repair scaling and semi-decision coverage.
+
+Two questions about the library's workhorse semi-decider:
+
+* how fast does repair converge on realistic violation densities?
+* across a seeded corpus of P_c implication instances (the
+  undecidable untyped cell), what fraction does the budgeted chase
+  settle, and how is that split between TRUE/FALSE/UNKNOWN?  This is
+  the honest "coverage" number for the semi-decidable cells of
+  Table 1.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from _report import print_table
+from repro.constraints.ast import PathConstraint, backward, forward
+from repro.graph.builders import scaled_bibliography
+from repro.paths import Path
+from repro.reasoning.chase import chase, chase_implication
+from repro.truth import Trilean
+
+REPAIR_SIGMA = [
+    backward("book", "author", "wrote"),
+    backward("person", "wrote", "author"),
+    forward("", "book.author", "person"),
+]
+
+
+def _broken_bibliography(books: int, seed: int):
+    """A bibliography with the inverse edges randomly dropped."""
+    rng = random.Random(seed)
+    graph = scaled_bibliography(books, max(books // 3, 2), seed=seed)
+    removed = 0
+    for person in list(graph.eval_path("person")):
+        for book in list(graph.eval_path("wrote", start=person)):
+            if rng.random() < 0.5:
+                graph.remove_edge(person, "wrote", book)
+                removed += 1
+    return graph, removed
+
+
+@pytest.mark.benchmark(group="chase")
+@pytest.mark.parametrize("books", [50, 200, 800])
+def test_chase_repair_scaling(benchmark, books):
+    graph, _ = _broken_bibliography(books, seed=books)
+
+    def repair():
+        return chase(graph, REPAIR_SIGMA, max_steps=1_000_000)
+
+    outcome = benchmark(repair)
+    assert outcome.fixpoint
+
+
+def _random_pc_instance(seed: int) -> tuple[list[PathConstraint], PathConstraint]:
+    rng = random.Random(seed)
+    labels = ["a", "b", "w"]
+
+    def rword(lo, hi):
+        return Path([rng.choice(labels) for _ in range(rng.randint(lo, hi))])
+
+    def rconstraint():
+        kind = rng.random()
+        if kind < 0.4:
+            return forward("", rword(1, 2), rword(1, 2))  # word
+        if kind < 0.7:
+            return forward(rword(1, 1), rword(1, 2), rword(1, 2))
+        return backward(rword(1, 1), rword(1, 1), rword(1, 1))
+
+    sigma = [rconstraint() for _ in range(rng.randint(1, 3))]
+    phi = rconstraint()
+    return sigma, phi
+
+
+@pytest.mark.benchmark(group="chase")
+def test_chase_semidecision_coverage(benchmark):
+    """Coverage of the budgeted chase over 300 seeded P_c instances."""
+    tallies = {Trilean.TRUE: 0, Trilean.FALSE: 0, Trilean.UNKNOWN: 0}
+    start = time.perf_counter()
+    for seed in range(300):
+        sigma, phi = _random_pc_instance(seed)
+        result = chase_implication(sigma, phi, max_steps=300)
+        tallies[result.answer] += 1
+    elapsed = time.perf_counter() - start
+
+    definite = tallies[Trilean.TRUE] + tallies[Trilean.FALSE]
+    print_table(
+        "Chase semi-decision coverage on the undecidable untyped P_c cell",
+        ["outcome", "count", "share"],
+        [
+            ["TRUE (implied)", tallies[Trilean.TRUE],
+             f"{tallies[Trilean.TRUE] / 3:.0f}%"],
+            ["FALSE (counter-model)", tallies[Trilean.FALSE],
+             f"{tallies[Trilean.FALSE] / 3:.0f}%"],
+            ["UNKNOWN (budget)", tallies[Trilean.UNKNOWN],
+             f"{tallies[Trilean.UNKNOWN] / 3:.0f}%"],
+            ["definite total", definite, f"{definite / 3:.0f}%"],
+            ["wall clock", f"{elapsed * 1e3:.0f} ms", ""],
+        ],
+    )
+    # The chase should settle the strong majority of random instances.
+    assert definite >= 200
+
+    sigma, phi = _random_pc_instance(7)
+    benchmark(lambda: chase_implication(sigma, phi, max_steps=300).answer)

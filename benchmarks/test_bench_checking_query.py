@@ -1,0 +1,143 @@
+"""Model checking and query optimization benchmarks.
+
+* constraint checking (G |= phi) over growing bibliography graphs —
+  the integrity-validation workload the paper motivates;
+* union-of-paths queries with and without the implication-driven
+  optimizer — the paper's query-optimization motivation, measured.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _report import print_table
+from repro.constraints import parse_constraints
+from repro.checking import check_all
+from repro.graph.builders import scaled_bibliography
+from repro.query import WordQueryOptimizer, evaluate_word
+from repro.reasoning.chase import chase
+
+CONSTRAINTS = parse_constraints(
+    """
+    book :: author ~> wrote
+    person :: wrote ~> author
+    book.author => person
+    person.wrote => book
+    book.ref => book
+    """
+)
+
+GRAPH_SIZES = [(50, 20), (200, 80), (800, 320), (3200, 1280)]
+
+
+@pytest.mark.benchmark(group="checking")
+@pytest.mark.parametrize("books,persons", GRAPH_SIZES)
+def test_checking_scaling(benchmark, books, persons):
+    graph = scaled_bibliography(books, persons, seed=books)
+    graph = chase(graph, CONSTRAINTS, max_steps=100_000).graph
+
+    report = benchmark(lambda: check_all(graph, CONSTRAINTS))
+    assert report.ok
+
+
+@pytest.mark.benchmark(group="checking")
+def test_checking_growth_table(benchmark):
+    rows = []
+    for books, persons in GRAPH_SIZES:
+        graph = scaled_bibliography(books, persons, seed=books)
+        graph = chase(graph, CONSTRAINTS, max_steps=100_000).graph
+        start = time.perf_counter()
+        report = check_all(graph, CONSTRAINTS)
+        elapsed = time.perf_counter() - start
+        assert report.ok
+        rows.append(
+            [
+                f"{books} books / {persons} persons",
+                graph.edge_count(),
+                report.total_witnesses,
+                f"{elapsed * 1e3:.2f} ms",
+            ]
+        )
+    print_table(
+        "Integrity checking (all 5 Section-1 constraints) vs graph size",
+        ["graph", "edges", "witness pairs", "time"],
+        rows,
+    )
+    graph = scaled_bibliography(200, 80, seed=200)
+    graph = chase(graph, CONSTRAINTS, max_steps=100_000).graph
+    benchmark(lambda: check_all(graph, CONSTRAINTS).ok)
+
+
+UNION_QUERY = [
+    "book.author",
+    "person",
+    "book.ref.author",
+    "book.author.wrote.author",
+    "book.ref.ref.author",
+]
+
+
+def _run_union(graph, branches):
+    answers = set()
+    for branch in branches:
+        answers |= evaluate_word(graph, branch).answers
+    return frozenset(answers)
+
+
+@pytest.mark.benchmark(group="query-opt")
+@pytest.mark.parametrize("optimized", [False, True], ids=["plain", "optimized"])
+def test_union_query(benchmark, optimized):
+    graph = scaled_bibliography(2000, 800, seed=11)
+    graph = chase(graph, CONSTRAINTS, max_steps=1_000_000).graph
+    optimizer = WordQueryOptimizer(
+        [c for c in CONSTRAINTS if c.is_word_constraint()]
+    )
+    plan = (
+        [str(p) for p in optimizer.optimize_union(UNION_QUERY).optimized]
+        if optimized
+        else UNION_QUERY
+    )
+
+    answers = benchmark(lambda: _run_union(graph, plan))
+    assert answers == _run_union(graph, UNION_QUERY)
+
+
+@pytest.mark.benchmark(group="query-opt")
+def test_query_optimization_report(benchmark):
+    graph = scaled_bibliography(2000, 800, seed=11)
+    graph = chase(graph, CONSTRAINTS, max_steps=1_000_000).graph
+    optimizer = WordQueryOptimizer(
+        [c for c in CONSTRAINTS if c.is_word_constraint()]
+    )
+    report = optimizer.optimize_union(UNION_QUERY)
+
+    start = time.perf_counter()
+    plain = _run_union(graph, UNION_QUERY)
+    plain_time = time.perf_counter() - start
+    start = time.perf_counter()
+    fast = _run_union(graph, [str(p) for p in report.optimized])
+    fast_time = time.perf_counter() - start
+    assert plain == fast
+
+    print_table(
+        "Query optimization via implication (Section 2.2 motivation)",
+        ["plan", "branches", "total labels", "time", "answers"],
+        [
+            ["plain union", len(UNION_QUERY),
+             sum(len(b.split('.')) for b in UNION_QUERY),
+             f"{plain_time * 1e3:.2f} ms", len(plain)],
+            ["optimized", len(report.optimized),
+             sum(len(p) for p in report.optimized),
+             f"{fast_time * 1e3:.2f} ms", len(fast)],
+        ],
+    )
+    print_table(
+        "Optimizer actions",
+        ["kind", "from", "to"],
+        [["prune", str(a), f"subsumed by {b}"] for a, b in report.pruned]
+        + [["rewrite", str(a), str(b)] for a, b in report.rewrites],
+    )
+
+    benchmark(lambda: optimizer.optimize_union(UNION_QUERY).optimized)

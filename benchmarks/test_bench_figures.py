@@ -1,0 +1,206 @@
+"""Figures 1-4 — every structure the paper draws, rebuilt and verified.
+
+* Figure 1: the Penn-bib XML document graph with all Section 1
+  constraints checked against it;
+* Figure 2: the Lemma 4.5 counter-model built from a finite monoid
+  witness, verified against the Theorem 4.3 encoding;
+* Figure 3: the Lemma 5.3 H-structure, verified to model the lifted
+  constraint set while violating the lifted query;
+* Figure 4: the Lemma 5.4 typed structure, verified to satisfy
+  Phi(Delta_1) and the Section 5.2 constraint set while violating the
+  encoded test constraint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _report import print_table
+from _workloads import MONOID_CORPUS
+from repro.checking import check, check_all
+from repro.checking.engine import satisfies_all
+from repro.checking.satisfaction import violations
+from repro.constraints import parse_constraint, parse_constraints, word
+from repro.graph import Graph, figure1_graph
+from repro.graph.builders import penn_bib_with_locals
+from repro.monoids.finite import find_separating_homomorphism
+from repro.reductions import (
+    encode_mplus,
+    encode_pwk,
+    figure2_structure,
+    figure3_structure,
+    figure4_structure,
+)
+from repro.types.typecheck import check_type_constraint
+
+SECTION1_CONSTRAINTS = """
+book :: author ~> wrote
+person :: wrote ~> author
+book.author => person
+person.wrote => book
+book.ref => book
+MIT.book :: author ~> wrote
+MIT.person :: wrote ~> author
+MIT :: book.author => person
+MIT :: person.wrote => book
+Warner.book :: author ~> wrote
+Warner.person :: wrote ~> author
+"""
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure1_bibliography(benchmark):
+    """Figure 1: the document graph models every displayed constraint."""
+    graph = penn_bib_with_locals()
+    constraints = parse_constraints(SECTION1_CONSTRAINTS)
+
+    report = benchmark(lambda: check_all(graph, constraints))
+    assert report.ok, report.summary()
+
+    base = figure1_graph()
+    print_table(
+        "Figure 1 — Penn-bib graph and Section 1 constraints",
+        ["constraint", "holds", "witness pairs"],
+        [
+            [str(r.constraint), "yes" if r.holds else "NO", r.witnesses]
+            for r in report.results
+        ],
+    )
+    print_table(
+        "Figure 1 — structure statistics",
+        ["graph", "nodes", "edges", "books", "persons"],
+        [
+            ["Figure 1 proper", base.node_count(), base.edge_count(),
+             len(base.eval_path("book")), len(base.eval_path("person"))],
+            ["with MIT/Warner locals", graph.node_count(), graph.edge_count(),
+             len(graph.eval_path("book")), len(graph.eval_path("person"))],
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure2_countermodels(benchmark):
+    """Figure 2: construct + verify a counter-model per corpus monoid."""
+    rows = []
+    for name, pres, _equal, unequal in MONOID_CORPUS:
+        enc = encode_pwk(pres)
+        hom = find_separating_homomorphism(pres, *unequal)
+        assert hom is not None
+        graph = figure2_structure(pres, hom)
+        assert enc.verify_countermodel(graph, *unequal)
+        phi1, phi2 = enc.test_constraints(*unequal)
+        violated = [
+            str(phi)
+            for phi in (phi1, phi2)
+            if violations(graph, phi, limit=1)
+        ]
+        rows.append(
+            [
+                name,
+                f"|M|={hom.monoid.order}",
+                graph.node_count(),
+                graph.edge_count(),
+                "; ".join(violated),
+            ]
+        )
+    print_table(
+        "Figure 2 — Lemma 4.5 counter-models (unequal pairs)",
+        ["presentation", "witness monoid", "nodes", "edges", "violated test constraint(s)"],
+        rows,
+    )
+
+    name, pres, _, unequal = MONOID_CORPUS[0]
+    enc = encode_pwk(pres)
+    hom = find_separating_homomorphism(pres, *unequal)
+
+    def build_and_verify():
+        graph = figure2_structure(pres, hom)
+        return enc.verify_countermodel(graph, *unequal)
+
+    assert benchmark(build_and_verify)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure3_h_structure(benchmark):
+    """Figure 3: lift a word-problem counter-model through H."""
+    # A finite model of Sigma^2_K = {a.b => c} violating phi^2 = a => c.
+    base = Graph(root=0)
+    base.add_edge(0, "a", 1)
+    base.add_edge(1, "b", 2)
+    base.add_edge(0, "c", 2)
+    sigma2 = [word("a.b", "c")]
+    phi2 = word("a", "c")
+    assert satisfies_all(base, sigma2)
+    assert violations(base, phi2, limit=1)
+
+    sigma1 = parse_constraints(
+        """
+        K :: a.b => c
+        Other :: x => y
+        Other.site :: p ~> q
+        """
+    )
+    phi1 = parse_constraint("K :: a => c")
+
+    def build_and_verify():
+        h = figure3_structure(base)
+        ok = satisfies_all(h, sigma1)
+        bad = violations(h, phi1, limit=1)
+        return h, ok, bad
+
+    h, ok, bad = benchmark(build_and_verify)
+    assert ok and bad
+
+    print_table(
+        "Figure 3 — the H-structure of Lemma 5.3",
+        ["property", "value"],
+        [
+            ["base model G (of Sigma^2_K, violating phi^2)", f"{base.node_count()} nodes"],
+            ["H = G + {K(rH,rH), K(rH,rG)}", f"{h.node_count()} nodes, {h.edge_count()} edges"],
+            ["H |= Sigma^1_K u Sigma^1_r", ok],
+            ["H |= phi^1", not bool(bad)],
+            ["K-reachable from rH", sorted(map(str, h.eval_path("K")))],
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure4_typed_structures(benchmark):
+    """Figure 4: typed counter-models over Delta_1, type-checked."""
+    rows = []
+    for name, pres, _equal, unequal in MONOID_CORPUS:
+        enc = encode_mplus(pres)
+        hom = find_separating_homomorphism(pres, *unequal)
+        assert hom is not None
+        graph = figure4_structure(pres, hom)
+        typing = check_type_constraint(enc.schema, graph)
+        assert typing.ok, typing.summary()
+        assert enc.verify_countermodel(graph, *unequal)
+        phi = enc.test_constraint(*unequal)
+        rows.append(
+            [
+                name,
+                graph.node_count(),
+                graph.edge_count(),
+                "yes",
+                str(phi),
+            ]
+        )
+    print_table(
+        "Figure 4 — Lemma 5.4 typed counter-models over Delta_1",
+        ["presentation", "nodes", "edges", "in U_f(Delta_1)", "violated constraint"],
+        rows,
+    )
+
+    name, pres, _, unequal = MONOID_CORPUS[0]
+    enc = encode_mplus(pres)
+    hom = find_separating_homomorphism(pres, *unequal)
+
+    def build_and_verify():
+        graph = figure4_structure(pres, hom)
+        return (
+            check_type_constraint(enc.schema, graph).ok
+            and enc.verify_countermodel(graph, *unequal)
+        )
+
+    assert benchmark(build_and_verify)

@@ -1,0 +1,103 @@
+"""Local-extent implication (Theorem 5.1) — PTIME, and Sigma_r is inert.
+
+Two measurements:
+
+* decision time as the bounded core grows (PTIME shape);
+* decision time and answers as the *decoy* set Sigma_r grows —
+  Lemma 5.3 says constraints on other local databases do not interact,
+  so answers must be bit-identical with and without them and the cost
+  of ignoring them must stay linear (the partition step scans them
+  once).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _report import print_table
+from _workloads import local_extent_workload
+from repro.constraints.ast import forward
+from repro.reasoning import implies_local_extent
+
+DECOYS = [0, 16, 64, 256, 1024]
+
+
+@pytest.mark.benchmark(group="local-extent")
+@pytest.mark.parametrize("decoys", DECOYS)
+def test_decide_with_decoys(benchmark, decoys):
+    core, decoy_set, queries = local_extent_workload(decoys, seed=decoys)
+    sigma = core + decoy_set
+
+    def decide_all():
+        return tuple(
+            implies_local_extent(sigma, q).answer for q in queries
+        )
+
+    benchmark(decide_all)
+
+
+@pytest.mark.benchmark(group="local-extent")
+def test_sigma_r_inertness(benchmark):
+    """Answers identical across every decoy size (the Lemma 5.3 claim),
+    with measured time growing only with the scan of Sigma_r."""
+    core, _, queries = local_extent_workload(0)
+    baseline = tuple(
+        implies_local_extent(core, q).answer for q in queries
+    )
+
+    rows = []
+    for decoys in DECOYS:
+        _, decoy_set, _ = local_extent_workload(decoys, seed=decoys)
+        sigma = core + decoy_set
+        start = time.perf_counter()
+        answers = tuple(
+            implies_local_extent(sigma, q).answer for q in queries
+        )
+        elapsed = time.perf_counter() - start
+        assert answers == baseline, "Sigma_r interacted — Lemma 5.3 violated"
+        rows.append(
+            [
+                decoys,
+                f"{elapsed * 1e3:.2f} ms",
+                ", ".join(a.value for a in answers),
+            ]
+        )
+    print_table(
+        "Sigma_r inertness (Lemma 5.3): decoy constraints never change answers",
+        ["|Sigma_r| decoys", "time (3 queries)", "answers (fixed queries)"],
+        rows,
+    )
+
+    sigma = core + local_extent_workload(256, seed=256)[1]
+    benchmark(
+        lambda: implies_local_extent(sigma, queries[0]).answer
+    )
+
+
+@pytest.mark.benchmark(group="local-extent")
+def test_core_growth(benchmark):
+    """PTIME shape as the bounded core grows."""
+    rows = []
+    times = []
+    for size in [4, 8, 16, 32, 64]:
+        core = [
+            forward("MIT", f"x{i}", f"x{i + 1}") for i in range(size)
+        ]
+        query = forward("MIT", "x0", f"x{size}")
+        start = time.perf_counter()
+        result = implies_local_extent(core, query)
+        elapsed = time.perf_counter() - start
+        assert result.implied
+        times.append(elapsed)
+        rows.append([size, f"{elapsed * 1e3:.2f} ms", result.answer.value])
+    print_table(
+        "Local-extent decision vs bounded-core size",
+        ["|Sigma_K|", "time", "answer"],
+        rows,
+    )
+
+    core = [forward("MIT", f"x{i}", f"x{i + 1}") for i in range(32)]
+    query = forward("MIT", "x0", "x32")
+    benchmark(lambda: implies_local_extent(core, query).implied)

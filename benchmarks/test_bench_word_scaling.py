@@ -1,0 +1,101 @@
+"""Scaling of the untyped P_w decider (the [AV97] PTIME substrate).
+
+The paper's claim for this cell is membership in PTIME.  We sweep the
+constraint count and the word length on two instance families (random
+and adversarial chains) and check that measured times grow
+polynomially: the log-log slope between consecutive doublings must
+stay bounded by a small constant, nothing like the exponential blowup
+a naive closure enumeration would show.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _report import print_table
+from _workloads import chained_word_constraints, random_word_constraints
+from repro.constraints import word
+from repro.paths import Path
+from repro.reasoning import WordImplicationDecider
+
+SIZES = [4, 8, 16, 32, 64]
+
+
+@pytest.mark.benchmark(group="word-scaling")
+@pytest.mark.parametrize("count", SIZES)
+def test_word_random_family(benchmark, count):
+    """Decision time over `count` random constraints."""
+    sigma = random_word_constraints(count, max_len=4, seed=count)
+    queries = random_word_constraints(10, max_len=5, seed=count + 999)
+
+    def decide_all():
+        decider = WordImplicationDecider(sigma)
+        return sum(decider.implies(q) for q in queries)
+
+    benchmark(decide_all)
+
+
+@pytest.mark.benchmark(group="word-scaling")
+@pytest.mark.parametrize("count", SIZES)
+def test_word_chain_family(benchmark, count):
+    """Adversarial chains: the whole closure must be traversed."""
+    sigma, query = chained_word_constraints(count)
+
+    def decide():
+        return WordImplicationDecider(sigma).implies(query)
+
+    assert benchmark(decide)
+
+
+def _measure(family, sizes):
+    rows = []
+    times = []
+    for size in sizes:
+        sigma, query = family(size)
+        start = time.perf_counter()
+        answer = WordImplicationDecider(sigma).implies(query)
+        elapsed = time.perf_counter() - start
+        times.append(elapsed)
+        rows.append([size, f"{elapsed * 1e3:.2f} ms", answer])
+    return rows, times
+
+
+@pytest.mark.benchmark(group="word-scaling")
+def test_word_growth_is_polynomial(benchmark):
+    """Doubling the instance must not square-and-more the runtime
+    repeatedly (a crude but robust PTIME consistency check)."""
+
+    def chain_family(size):
+        return chained_word_constraints(size)
+
+    def random_family(size):
+        sigma = random_word_constraints(size, max_len=4, seed=7)
+        query = word(Path.parse("a.b.c.a"), Path.parse("c.b.a"))
+        return sigma, query
+
+    chain_rows, chain_times = _measure(chain_family, SIZES)
+    random_rows, random_times = _measure(random_family, SIZES)
+
+    print_table(
+        "P_w decider scaling — chain family (constraints, time, answer)",
+        ["|Sigma|", "time", "implied"],
+        chain_rows,
+    )
+    print_table(
+        "P_w decider scaling — random family",
+        ["|Sigma|", "time", "implied"],
+        random_rows,
+    )
+
+    import math
+
+    for times in (chain_times, random_times):
+        for smaller, larger in zip(times, times[1:]):
+            if smaller > 1e-4:  # below that, timer noise dominates
+                slope = math.log(max(larger, 1e-9) / smaller, 2)
+                assert slope < 5, f"superpolynomial-looking growth: {times}"
+
+    sigma, query = chained_word_constraints(32)
+    benchmark(lambda: WordImplicationDecider(sigma).implies(query))

@@ -1,0 +1,81 @@
+"""repro: path and type constraint reasoning for semistructured data.
+
+A faithful, production-quality reproduction of
+
+    Peter Buneman, Wenfei Fan, Scott Weinstein.
+    "Interaction between Path and Type Constraints." PODS 1999.
+
+The library provides the paper's data models (sigma-structure graphs;
+the object-oriented models M and M+), the path constraint language P_c
+with its fragments, every decidable implication problem as a working
+decision procedure, sound semi-deciders and executable reductions for
+the undecidable ones, and the constructions behind the paper's figures.
+
+Quickstart::
+
+    from repro import Graph, parse_constraints, check, implies_word
+
+    g = Graph(root="r")
+    b = g.add_edge("r", "book", g.fresh_node())
+    p = g.add_edge(b, "author", g.fresh_node())
+    g.add_edge("r", "person", p)
+
+    sigma = parse_constraints("book.author => person")
+    assert check(g, sigma[0]).holds
+"""
+
+from repro.errors import ReproError
+from repro.truth import Trilean
+from repro.paths import EPSILON, Path
+from repro.graph import Graph, Signature, figure1_graph
+from repro.constraints import (
+    Direction,
+    PathConstraint,
+    backward,
+    forward,
+    parse_constraint,
+    parse_constraints,
+    word,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "Trilean",
+    "Path",
+    "EPSILON",
+    "Graph",
+    "Signature",
+    "figure1_graph",
+    "Direction",
+    "PathConstraint",
+    "forward",
+    "backward",
+    "word",
+    "parse_constraint",
+    "parse_constraints",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Lazily surface the high-level API without importing every
+    # subsystem at package import time.
+    lazy = {
+        "check": ("repro.checking", "check"),
+        "check_all": ("repro.checking", "check_all"),
+        "implies_word": ("repro.reasoning", "implies_word"),
+        "implies_local_extent": ("repro.reasoning", "implies_local_extent"),
+        "implies_typed_m": ("repro.reasoning", "implies_typed_m"),
+        "solve": ("repro.reasoning", "solve"),
+        "ImplicationProblem": ("repro.reasoning", "ImplicationProblem"),
+        "Schema": ("repro.types", "Schema"),
+    }
+    if name in lazy:
+        module_name, attr = lazy[name]
+        import importlib
+
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

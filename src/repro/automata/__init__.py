@@ -1,0 +1,16 @@
+"""Finite automata over edge-label alphabets.
+
+Substrate for two parts of the library:
+
+* the prefix-rewriting saturation engine (``repro.rewriting``), whose
+  ``post*`` images are regular languages represented as NFAs;
+* regular path queries (``repro.query``), which compile small regular
+  expressions over edge labels to automata and evaluate them by
+  graph product.
+"""
+
+from repro.automata.nfa import NFA
+from repro.automata.dfa import DFA
+from repro.automata.regex import compile_regex
+
+__all__ = ["NFA", "DFA", "compile_regex"]

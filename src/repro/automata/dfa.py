@@ -1,0 +1,255 @@
+"""Deterministic finite automata.
+
+The typed deciders use DFAs in two places: the ``Paths(Delta)`` DFA
+derived from a schema's type graph (states are type names), and
+determinized ``post*`` languages when benchmarks compare automata.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.automata.nfa import EPSILON, NFA
+
+State = Hashable
+
+
+class DFA:
+    """A (possibly partial) DFA.
+
+    Missing transitions are rejecting — there is no explicit sink.
+    """
+
+    def __init__(
+        self,
+        initial: State,
+        transitions: dict[tuple[State, str], State] | None = None,
+        finals: Iterable[State] = (),
+        alphabet: Iterable[str] = (),
+    ) -> None:
+        self._initial = initial
+        self._delta: dict[tuple[State, str], State] = dict(transitions or {})
+        self._finals = set(finals)
+        self._alphabet = set(alphabet)
+        for (_, symbol), _dst in self._delta.items():
+            self._alphabet.add(symbol)
+
+    # -- construction ----------------------------------------------------
+
+    @property
+    def initial(self) -> State:
+        return self._initial
+
+    @property
+    def finals(self) -> frozenset[State]:
+        return frozenset(self._finals)
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return frozenset(self._alphabet)
+
+    @property
+    def states(self) -> frozenset[State]:
+        out: set[State] = {self._initial}
+        for (src, _), dst in self._delta.items():
+            out.add(src)
+            out.add(dst)
+        out |= self._finals
+        return frozenset(out)
+
+    def add_transition(self, src: State, symbol: str, dst: State) -> None:
+        self._alphabet.add(symbol)
+        self._delta[(src, symbol)] = dst
+
+    def add_final(self, state: State) -> None:
+        self._finals.add(state)
+
+    def transition(self, state: State, symbol: str) -> State | None:
+        return self._delta.get((state, symbol))
+
+    def transitions(self):
+        for (src, symbol), dst in self._delta.items():
+            yield (src, symbol, dst)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, word: Iterable[str]) -> State | None:
+        """The state after reading ``word``, or None if the run dies."""
+        state = self._initial
+        for symbol in word:
+            state = self._delta.get((state, symbol))
+            if state is None:
+                return None
+        return state
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        state = self.run(word)
+        return state is not None and state in self._finals
+
+    def live_states(self) -> frozenset[State]:
+        """States reachable from the initial state."""
+        seen = {self._initial}
+        stack = [self._initial]
+        while stack:
+            state = stack.pop()
+            for symbol in self._alphabet:
+                dst = self._delta.get((state, symbol))
+                if dst is not None and dst not in seen:
+                    seen.add(dst)
+                    stack.append(dst)
+        return frozenset(seen)
+
+    # -- conversions --------------------------------------------------------
+
+    def to_nfa(self) -> NFA:
+        nfa = NFA(initial=self._initial)
+        for (src, symbol), dst in self._delta.items():
+            nfa.add_transition(src, symbol, dst)
+        for state in self._finals:
+            nfa.add_final(state)
+        return nfa
+
+    @classmethod
+    def from_nfa(cls, nfa: NFA) -> "DFA":
+        """Subset construction (epsilon-aware)."""
+        alphabet = sorted(nfa.alphabet())
+        start = nfa.epsilon_closure([nfa.initial])
+        seen: dict[frozenset, int] = {start: 0}
+        dfa = cls(initial=0, alphabet=alphabet)
+        if start & nfa.finals:
+            dfa.add_final(0)
+        stack = [start]
+        while stack:
+            subset = stack.pop()
+            src_id = seen[subset]
+            for symbol in alphabet:
+                target = nfa.step(subset, symbol)
+                if not target:
+                    continue
+                if target not in seen:
+                    seen[target] = len(seen)
+                    stack.append(target)
+                    if target & nfa.finals:
+                        dfa.add_final(seen[target])
+                dfa.add_transition(src_id, symbol, seen[target])
+        return dfa
+
+    # -- language algebra ------------------------------------------------------
+
+    def complete(self, alphabet: Iterable[str] = ()) -> "DFA":
+        """A total DFA over ``alphabet`` (default: own alphabet) with an
+        explicit rejecting sink."""
+        alphabet = set(alphabet) | self._alphabet
+        sink = ("sink",)
+        out = DFA(self._initial, dict(self._delta), self._finals, alphabet)
+        for state in list(out.states) + [sink]:
+            for symbol in alphabet:
+                if (state, symbol) not in out._delta:
+                    out._delta[(state, symbol)] = sink
+        return out
+
+    def complement(self, alphabet: Iterable[str]) -> "DFA":
+        """The complement language over the given alphabet."""
+        total = self.complete(alphabet)
+        out = DFA(
+            total._initial,
+            dict(total._delta),
+            total.states - total._finals,
+            total._alphabet,
+        )
+        return out
+
+    @classmethod
+    def product(
+        cls, left: "DFA", right: "DFA", accept: str = "and"
+    ) -> "DFA":
+        """Product automaton; ``accept`` is ``and``/``or``/``diff``."""
+        alphabet = left._alphabet | right._alphabet
+        lt = left.complete(alphabet)
+        rt = right.complete(alphabet)
+        initial = (lt._initial, rt._initial)
+        out = cls(initial=initial, alphabet=alphabet)
+        stack = [initial]
+        seen = {initial}
+        while stack:
+            src = stack.pop()
+            for symbol in alphabet:
+                dst = (
+                    lt._delta[(src[0], symbol)],
+                    rt._delta[(src[1], symbol)],
+                )
+                out.add_transition(src, symbol, dst)
+                if dst not in seen:
+                    seen.add(dst)
+                    stack.append(dst)
+        for state in seen:
+            in_left = state[0] in lt._finals
+            in_right = state[1] in rt._finals
+            ok = {
+                "and": in_left and in_right,
+                "or": in_left or in_right,
+                "diff": in_left and not in_right,
+            }[accept]
+            if ok:
+                out.add_final(state)
+        return out
+
+    def is_empty(self) -> bool:
+        return not (self.live_states() & self._finals)
+
+    def equivalent(self, other: "DFA", alphabet: Iterable[str]) -> bool:
+        """Language equivalence over the given alphabet."""
+        alphabet = set(alphabet) | self._alphabet | other._alphabet
+        diff1 = DFA.product(self, other, accept="diff")
+        diff2 = DFA.product(other, self, accept="diff")
+        return diff1.is_empty() and diff2.is_empty()
+
+    def minimize(self) -> "DFA":
+        """Moore's partition-refinement minimization of the reachable part."""
+        alphabet = sorted(self._alphabet)
+        total = self.complete(alphabet)
+        states = sorted(total.live_states(), key=repr)
+        partition_of: dict[State, int] = {
+            s: (1 if s in total._finals else 0) for s in states
+        }
+        while True:
+            signature: dict[State, tuple] = {}
+            for s in states:
+                signature[s] = (
+                    partition_of[s],
+                    tuple(
+                        partition_of[total._delta[(s, a)]]
+                        if total._delta[(s, a)] in partition_of
+                        else -1
+                        for a in alphabet
+                    ),
+                )
+            blocks: dict[tuple, int] = {}
+            new_partition: dict[State, int] = {}
+            for s in states:
+                sig = signature[s]
+                if sig not in blocks:
+                    blocks[sig] = len(blocks)
+                new_partition[s] = blocks[sig]
+            if new_partition == partition_of:
+                break
+            partition_of = new_partition
+        out = DFA(initial=partition_of[total._initial], alphabet=alphabet)
+        for s in states:
+            for a in alphabet:
+                dst = total._delta[(s, a)]
+                if dst in partition_of:
+                    out.add_transition(partition_of[s], a, partition_of[dst])
+        for s in states:
+            if s in total._finals:
+                out.add_final(partition_of[s])
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<DFA states={len(self.states)} "
+            f"alphabet={sorted(self._alphabet)} finals={len(self._finals)}>"
+        )
+
+
+__all__ = ["DFA", "EPSILON"]

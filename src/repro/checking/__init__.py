@@ -1,0 +1,19 @@
+"""Constraint satisfaction: does a graph model a P_c constraint?
+
+The oracle for everything else in the library — figures are verified,
+chase results validated, and deciders cross-checked against this
+module's direct evaluation of Definition 2.1's semantics.
+"""
+
+from repro.checking.satisfaction import CheckResult, check, violations
+from repro.checking.engine import ValidationReport, check_all
+from repro.checking.incremental import IncrementalChecker
+
+__all__ = [
+    "CheckResult",
+    "check",
+    "violations",
+    "ValidationReport",
+    "check_all",
+    "IncrementalChecker",
+]

@@ -1,0 +1,70 @@
+"""Batch constraint validation with reporting.
+
+``check_all`` validates a whole constraint set against a graph and
+produces a report suitable for integrity-checking workflows (the
+paper's motivating use of path constraints: "a fundamental part of the
+semantics of the data").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.checking.satisfaction import CheckResult, check
+from repro.constraints.ast import PathConstraint
+from repro.graph.structure import Graph
+
+
+@dataclass
+class ValidationReport:
+    """Results of checking a constraint set against one graph."""
+
+    results: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.holds for r in self.results)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @property
+    def failed(self) -> list[CheckResult]:
+        return [r for r in self.results if not r.holds]
+
+    @property
+    def total_witnesses(self) -> int:
+        return sum(r.witnesses for r in self.results)
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.results)} constraint(s) checked, "
+            f"{len(self.failed)} failed, "
+            f"{self.total_witnesses} witness pair(s) examined"
+        ]
+        for result in self.failed:
+            pairs = ", ".join(
+                f"({x!r}, {y!r})" for x, y in result.violating_pairs[:5]
+            )
+            suffix = (
+                "" if len(result.violating_pairs) <= 5
+                else f" ... +{len(result.violating_pairs) - 5}"
+            )
+            lines.append(f"  FAIL {result.constraint}: {pairs}{suffix}")
+        return "\n".join(lines)
+
+
+def check_all(
+    graph: Graph, constraints: Iterable[PathConstraint]
+) -> ValidationReport:
+    """Check every constraint; never short-circuits, so the report is
+    complete."""
+    return ValidationReport(results=[check(graph, phi) for phi in constraints])
+
+
+def satisfies_all(graph: Graph, constraints: Iterable[PathConstraint]) -> bool:
+    """Fast boolean version (short-circuits on first failure)."""
+    from repro.checking.satisfaction import violations
+
+    return all(not violations(graph, phi, limit=1) for phi in constraints)

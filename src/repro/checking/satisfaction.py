@@ -1,0 +1,80 @@
+"""Direct evaluation of ``G |= phi`` (Definition 2.1 semantics).
+
+For a forward constraint ``alpha :: beta => gamma``: for every node
+``x`` with ``alpha(r, x)`` and every ``y`` with ``beta(x, y)``, check
+``gamma(x, y)``; backward constraints check ``gamma(y, x)``.  The
+evaluation is a few breadth-first path images — linear in the touched
+edges per witness set — and returns the violating pairs, which the
+chase consumes as repair obligations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.ast import PathConstraint
+from repro.graph.structure import Graph, Node
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of checking one constraint on one graph.
+
+    ``witnesses`` counts the (x, y) pairs the hypothesis produced;
+    ``violating_pairs`` lists those that fail the conclusion.
+    """
+
+    constraint: PathConstraint
+    holds: bool
+    witnesses: int
+    violating_pairs: tuple[tuple[Node, Node], ...]
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def violations(
+    graph: Graph, constraint: PathConstraint, limit: int | None = None
+) -> list[tuple[Node, Node]]:
+    """The (x, y) pairs violating the constraint (up to ``limit``)."""
+    out: list[tuple[Node, Node]] = []
+    prefix_nodes = graph.eval_path(constraint.prefix)
+    for x in prefix_nodes:
+        hypothesis_nodes = graph.eval_path(constraint.lhs, start=x)
+        if not hypothesis_nodes:
+            continue
+        if constraint.is_forward():
+            conclusion_nodes = graph.eval_path(constraint.rhs, start=x)
+            for y in hypothesis_nodes:
+                if y not in conclusion_nodes:
+                    out.append((x, y))
+                    if limit is not None and len(out) >= limit:
+                        return out
+        else:
+            for y in hypothesis_nodes:
+                if not graph.satisfies_path(constraint.rhs, y, x):
+                    out.append((x, y))
+                    if limit is not None and len(out) >= limit:
+                        return out
+    return out
+
+
+def check(graph: Graph, constraint: PathConstraint) -> CheckResult:
+    """Full check with witness accounting.
+
+    >>> from repro.graph import figure1_graph
+    >>> from repro.constraints import parse_constraint
+    >>> g = figure1_graph()
+    >>> check(g, parse_constraint("book.author => person")).holds
+    True
+    """
+    witnesses = 0
+    for x in graph.eval_path(constraint.prefix):
+        witnesses += len(graph.eval_path(constraint.lhs, start=x))
+    bad = tuple(violations(graph, constraint))
+    return CheckResult(
+        constraint=constraint,
+        holds=not bad,
+        witnesses=witnesses,
+        violating_pairs=bad,
+    )

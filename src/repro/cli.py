@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``check GRAPH CONSTRAINTS``
+    Validate a graph (JSON, the ``repro.graph.serialize`` dict format)
+    against a constraint file (line syntax); exit 1 on violations.
+``imply CONSTRAINTS QUERY [--context CTX] [--schema XMLDATA]``
+    Decide/semi-decide an implication question; prints the answer,
+    method and Table 1 cell.  ``--schema`` takes an XML-Data file and
+    is required for typed contexts.
+``classify CONSTRAINTS QUERY``
+    Report the fragment (P_w / P_w(K) / local extent / P_c) and the
+    decidability verdict in every context.
+``chase GRAPH CONSTRAINTS [-o OUT] [--max-steps N]``
+    Repair a graph to satisfy the constraints; writes the chased graph.
+``dot GRAPH``
+    Print a Graphviz rendering of a graph file.
+
+Constraint files use the line syntax (``#`` comments allowed)::
+
+    book :: author ~> wrote
+    book.author => person
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path as FilePath
+
+from repro.checking import check_all
+from repro.constraints import parse_constraint, parse_constraints
+from repro.errors import ReproError
+from repro.graph.serialize import from_dict, to_dict, to_dot
+from repro.reasoning import (
+    Context,
+    ImplicationProblem,
+    classify,
+    solve,
+    table1_cell,
+)
+from repro.reasoning.chase import chase
+
+
+def _load_graph(path: str):
+    with open(path) as handle:
+        return from_dict(json.load(handle))
+
+
+def _load_constraints(path: str):
+    return parse_constraints(FilePath(path).read_text())
+
+
+def _load_schema(path: str):
+    from repro.xml import schema_from_xml_data
+
+    return schema_from_xml_data(FilePath(path).read_text())
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    constraints = _load_constraints(args.constraints)
+    report = check_all(graph, constraints)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_imply(args: argparse.Namespace) -> int:
+    sigma = _load_constraints(args.constraints)
+    phi = parse_constraint(args.query)
+    context = Context(args.context)
+    schema = _load_schema(args.schema) if args.schema else None
+    problem = ImplicationProblem(sigma, phi, context, schema=schema)
+    result = solve(problem, allow_semidecision=not args.strict)
+    print(f"answer:     {result.answer.value}")
+    print(f"method:     {result.method}")
+    klass = classify(sigma, phi)
+    decidable, complexity = table1_cell(klass, context)
+    status = f"decidable ({complexity})" if decidable else "undecidable"
+    print(f"fragment:   {klass.value}  [{context.value}: {status}]")
+    for note in result.notes:
+        print(f"note:       {note}")
+    if result.proof is not None:
+        print("proof (I_r):")
+        print(result.proof.describe())
+    if result.countermodel is not None:
+        print(
+            f"countermodel: {result.countermodel.node_count()} nodes "
+            f"(use --dump-countermodel to save)"
+        )
+        if args.dump_countermodel:
+            with open(args.dump_countermodel, "w") as handle:
+                json.dump(to_dict(result.countermodel), handle, indent=2)
+            print(f"  written to {args.dump_countermodel}")
+    return 0 if result.answer.is_definite else 2
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    sigma = _load_constraints(args.constraints)
+    phi = parse_constraint(args.query)
+    klass = classify(sigma, phi)
+    print(f"fragment: {klass.value}")
+    for context in Context:
+        decidable, complexity = table1_cell(klass, context)
+        status = f"decidable ({complexity})" if decidable else "undecidable"
+        print(f"  {context.value:15} {status}")
+    return 0
+
+
+def _cmd_chase(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    constraints = _load_constraints(args.constraints)
+    outcome = chase(graph, constraints, max_steps=args.max_steps)
+    print(
+        f"chase: {outcome.steps} step(s), {outcome.merges} merge(s), "
+        f"fixpoint={outcome.fixpoint}"
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(to_dict(outcome.graph), handle, indent=2)
+        print(f"written to {args.output}")
+    return 0 if outcome.fixpoint else 1
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    print(to_dot(_load_graph(args.graph)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Path/type constraint reasoning (Buneman-Fan-Weinstein, "
+        "PODS 1999 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="validate a graph against constraints")
+    p.add_argument("graph")
+    p.add_argument("constraints")
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("imply", help="decide an implication question")
+    p.add_argument("constraints")
+    p.add_argument("query")
+    p.add_argument(
+        "--context",
+        choices=[c.value for c in Context],
+        default=Context.SEMISTRUCTURED.value,
+    )
+    p.add_argument("--schema", help="XML-Data schema file (typed contexts)")
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="refuse semi-decision on undecidable cells",
+    )
+    p.add_argument("--dump-countermodel", metavar="FILE")
+    p.set_defaults(func=_cmd_imply)
+
+    p = sub.add_parser("classify", help="fragment + Table 1 verdicts")
+    p.add_argument("constraints")
+    p.add_argument("query")
+    p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("chase", help="repair a graph to satisfy constraints")
+    p.add_argument("graph")
+    p.add_argument("constraints")
+    p.add_argument("-o", "--output")
+    p.add_argument("--max-steps", type=int, default=10_000)
+    p.set_defaults(func=_cmd_chase)
+
+    p = sub.add_parser("dot", help="render a graph file as Graphviz DOT")
+    p.add_argument("graph")
+    p.set_defaults(func=_cmd_dot)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The path constraint language P_c and its fragments.
+
+Definitions 2.1-2.4 of the paper:
+
+* a *forward* constraint ``forall x (alpha(r,x) -> forall y (beta(x,y)
+  -> gamma(x,y)))``;
+* a *backward* constraint ``forall x (alpha(r,x) -> forall y
+  (beta(x,y) -> gamma(y,x)))``;
+* a *word* constraint (the fragment P_w of [AV97]) — a forward
+  constraint with empty prefix, usually written
+  ``forall x (alpha(r,x) -> beta(r,x))``;
+* the fragments P_w(K) / P_w(rho) and the *bounded* constraints that
+  define the local-extent implication problem.
+"""
+
+from repro.constraints.ast import (
+    Direction,
+    PathConstraint,
+    backward,
+    forward,
+    word,
+)
+from repro.constraints.classes import (
+    BoundednessReport,
+    infer_bounds,
+    is_bounded_by,
+    is_in_pw,
+    is_in_pw_k,
+    is_prefix_bounded_set,
+    partition_bounded,
+)
+from repro.constraints.parser import parse_constraint, parse_constraints
+from repro.constraints.regular import RegularConstraint, check_regular
+
+__all__ = [
+    "Direction",
+    "PathConstraint",
+    "forward",
+    "backward",
+    "word",
+    "BoundednessReport",
+    "is_in_pw",
+    "is_in_pw_k",
+    "is_bounded_by",
+    "is_prefix_bounded_set",
+    "infer_bounds",
+    "partition_bounded",
+    "parse_constraint",
+    "parse_constraints",
+    "RegularConstraint",
+    "check_regular",
+]

@@ -1,0 +1,199 @@
+"""Abstract syntax of P_c constraints (Definition 2.1).
+
+Every P_c constraint is a triple of paths plus a direction:
+
+* forward:  ``forall x (prefix(r,x) -> forall y (lhs(x,y) -> rhs(x,y)))``
+* backward: ``forall x (prefix(r,x) -> forall y (lhs(x,y) -> rhs(y,x)))``
+
+A *word constraint* (Definition 2.2) is a forward constraint whose
+prefix is the empty path; the paper writes it
+``forall x (alpha(r,x) -> beta(r,x))`` where ``alpha``/``beta`` are our
+``lhs``/``rhs``.  :func:`word` builds that shape directly.
+
+Instances are immutable, hashable and ordered, so constraint sets can
+live in Python sets and canonical orderings are deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import total_ordering
+
+from repro.paths import Path
+
+
+class Direction(enum.Enum):
+    """Whether the conclusion runs ``x -> y`` (forward) or ``y -> x``."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+@total_ordering
+class PathConstraint:
+    """One constraint of P_c.
+
+    >>> inv = backward("book", "author", "wrote")
+    >>> print(inv)
+    book :: author ~> wrote
+    >>> inv.is_word_constraint()
+    False
+    >>> print(word("book.author", "person"))
+    book.author => person
+    """
+
+    __slots__ = ("_prefix", "_lhs", "_rhs", "_direction", "_hash")
+
+    def __init__(
+        self,
+        prefix: Path | str,
+        lhs: Path | str,
+        rhs: Path | str,
+        direction: Direction = Direction.FORWARD,
+    ) -> None:
+        self._prefix = Path.coerce(prefix)
+        self._lhs = Path.coerce(lhs)
+        self._rhs = Path.coerce(rhs)
+        if not isinstance(direction, Direction):
+            raise TypeError(f"direction must be a Direction, got {direction!r}")
+        self._direction = direction
+        self._hash = hash(
+            (self._prefix, self._lhs, self._rhs, self._direction)
+        )
+
+    # -- components -----------------------------------------------------
+
+    @property
+    def prefix(self) -> Path:
+        """The prefix ``pf(phi)`` (the paper's alpha)."""
+        return self._prefix
+
+    @property
+    def lhs(self) -> Path:
+        """The hypothesis path (the paper's beta)."""
+        return self._lhs
+
+    @property
+    def rhs(self) -> Path:
+        """The conclusion path (the paper's gamma)."""
+        return self._rhs
+
+    @property
+    def direction(self) -> Direction:
+        return self._direction
+
+    def is_forward(self) -> bool:
+        return self._direction is Direction.FORWARD
+
+    def is_backward(self) -> bool:
+        return self._direction is Direction.BACKWARD
+
+    # -- fragments --------------------------------------------------------
+
+    def is_word_constraint(self) -> bool:
+        """Definition 2.2: forward with empty prefix."""
+        return self.is_forward() and self._prefix.is_empty()
+
+    def as_word_pair(self) -> tuple[Path, Path]:
+        """The pair (alpha, beta) of a word constraint.
+
+        Raises :class:`ValueError` if this is not a word constraint.
+        """
+        if not self.is_word_constraint():
+            raise ValueError(f"{self} is not a word constraint")
+        return (self._lhs, self._rhs)
+
+    def with_prefix(self, prefix: Path | str) -> "PathConstraint":
+        """The constraint ``f(prefix, self)`` of Section 5.1: the same
+        body under ``prefix . pf(self)``."""
+        prefix = Path.coerce(prefix)
+        return PathConstraint(
+            prefix.concat(self._prefix), self._lhs, self._rhs, self._direction
+        )
+
+    def strip_prefix(self, prefix: Path | str) -> "PathConstraint":
+        """Inverse of :meth:`with_prefix` (the g functions of Section
+        5.1); raises if ``prefix`` is not a prefix of ``pf(self)``."""
+        prefix = Path.coerce(prefix)
+        return PathConstraint(
+            self._prefix.strip_prefix(prefix),
+            self._lhs,
+            self._rhs,
+            self._direction,
+        )
+
+    def alphabet(self) -> frozenset[str]:
+        """All edge labels mentioned."""
+        return self._prefix.alphabet() | self._lhs.alphabet() | self._rhs.alphabet()
+
+    # -- rendering ----------------------------------------------------------
+
+    def __str__(self) -> str:
+        arrow = "=>" if self.is_forward() else "~>"
+        body = f"{self._lhs} {arrow} {self._rhs}"
+        if self._prefix.is_empty() and self.is_forward():
+            return body
+        return f"{self._prefix} :: {body}"
+
+    def __repr__(self) -> str:
+        return f"PathConstraint({str(self)!r})"
+
+    def to_formula(self) -> str:
+        """The first-order sentence of Definition 2.1.
+
+        Word constraints render in the paper's two-path form
+        ``forall x (alpha(r,x) -> beta(r,x))``.
+        """
+        if self.is_word_constraint():
+            alpha = self._lhs.to_formula("r", "x")
+            beta = self._rhs.to_formula("r", "x")
+            return f"forall x ({alpha} -> {beta})"
+        alpha = self._prefix.to_formula("r", "x")
+        beta = self._lhs.to_formula("x", "y")
+        if self.is_forward():
+            gamma = self._rhs.to_formula("x", "y")
+        else:
+            gamma = self._rhs.to_formula("y", "x")
+        return f"forall x ({alpha} -> forall y ({beta} -> {gamma}))"
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _key(self):
+        return (
+            self._prefix,
+            self._lhs,
+            self._rhs,
+            self._direction.value,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PathConstraint):
+            return self._key() == other._key()
+        return NotImplemented
+
+    def __lt__(self, other: "PathConstraint") -> bool:
+        if not isinstance(other, PathConstraint):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+def forward(
+    prefix: Path | str, lhs: Path | str, rhs: Path | str
+) -> PathConstraint:
+    """A forward constraint ``prefix :: lhs => rhs``."""
+    return PathConstraint(prefix, lhs, rhs, Direction.FORWARD)
+
+
+def backward(
+    prefix: Path | str, lhs: Path | str, rhs: Path | str
+) -> PathConstraint:
+    """A backward constraint ``prefix :: lhs ~> rhs``."""
+    return PathConstraint(prefix, lhs, rhs, Direction.BACKWARD)
+
+
+def word(lhs: Path | str, rhs: Path | str) -> PathConstraint:
+    """A word constraint ``lhs => rhs`` (Definition 2.2)."""
+    return PathConstraint(Path.empty(), lhs, rhs, Direction.FORWARD)

@@ -1,0 +1,91 @@
+"""Surface syntax for P_c constraints.
+
+The library uses a compact line syntax (the paper's constraints are
+first-order sentences; this syntax renders them one per line):
+
+* word constraint:      ``book.author => person``
+* forward constraint:   ``MIT :: book.ref => book``
+* backward constraint:  ``book :: author ~> wrote``
+* empty paths:          ``()`` / ``eps`` / ``epsilon``
+
+``prefix :: lhs => rhs`` is
+``forall x (prefix(r,x) -> forall y (lhs(x,y) -> rhs(x,y)))``;
+with ``~>`` the conclusion is ``rhs(y, x)`` (Definition 2.1).
+
+:func:`parse_constraints` parses a multi-line block, skipping blank
+lines and ``#`` comments, which makes constraint fixtures in tests and
+examples pleasant to write.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.constraints.ast import Direction, PathConstraint
+from repro.errors import ConstraintSyntaxError, PathSyntaxError
+from repro.paths import Path
+
+
+def parse_constraint(text: str) -> PathConstraint:
+    """Parse one constraint from the line syntax.
+
+    >>> parse_constraint("book :: author ~> wrote")
+    PathConstraint('book :: author ~> wrote')
+    >>> parse_constraint("book.author => person").is_word_constraint()
+    True
+    """
+    if not isinstance(text, str):
+        raise ConstraintSyntaxError(f"expected a string, got {text!r}")
+    original = text
+    text = text.strip()
+    if not text:
+        raise ConstraintSyntaxError("empty constraint text")
+
+    prefix_text = ""
+    if "::" in text:
+        prefix_text, _, text = text.partition("::")
+
+    if "~>" in text:
+        direction = Direction.BACKWARD
+        lhs_text, _, rhs_text = text.partition("~>")
+    elif "=>" in text:
+        direction = Direction.FORWARD
+        lhs_text, _, rhs_text = text.partition("=>")
+    else:
+        raise ConstraintSyntaxError(
+            f"no arrow ('=>' or '~>') in constraint {original!r}"
+        )
+    if "=>" in rhs_text or "~>" in rhs_text:
+        raise ConstraintSyntaxError(f"multiple arrows in constraint {original!r}")
+
+    try:
+        prefix = Path.parse(prefix_text)
+        lhs = Path.parse(lhs_text)
+        rhs = Path.parse(rhs_text)
+    except PathSyntaxError as exc:
+        raise ConstraintSyntaxError(
+            f"bad path in constraint {original!r}: {exc}"
+        ) from exc
+    return PathConstraint(prefix, lhs, rhs, direction)
+
+
+def parse_constraints(text: str | Iterable[str]) -> list[PathConstraint]:
+    """Parse a block of constraints, one per line.
+
+    Blank lines and ``#``-comments are skipped.  Accepts either a
+    multi-line string or an iterable of lines.
+    """
+    if isinstance(text, str):
+        lines: Iterable[str] = text.splitlines()
+    else:
+        lines = text
+    out: list[PathConstraint] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            out.append(parse_constraint(line))
+        except ConstraintSyntaxError as exc:
+            raise ConstraintSyntaxError(f"line {lineno}: {exc}") from exc
+    return out

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can install a single ``except ReproError`` guard around any public entry
+point.  Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class PathSyntaxError(ReproError, ValueError):
+    """A path expression could not be parsed."""
+
+
+class ConstraintSyntaxError(ReproError, ValueError):
+    """A path-constraint expression could not be parsed."""
+
+
+class GraphError(ReproError):
+    """A graph (sigma-structure) was malformed or misused."""
+
+
+class UnknownNodeError(GraphError, KeyError):
+    """A node identifier was not present in the graph."""
+
+
+class SchemaError(ReproError):
+    """A type schema was malformed (dangling class, bad DBtype, ...)."""
+
+
+class ModelRestrictionError(SchemaError):
+    """A schema violates the restrictions of the requested model.
+
+    For example, a schema containing a set type is not a schema of the
+    restricted model M (Section 3.3 of the paper).
+    """
+
+
+class InstanceError(ReproError):
+    """A typed database instance violates its declared schema."""
+
+
+class TypeConstraintViolation(ReproError):
+    """A graph fails the type constraint Phi(Delta) of a schema."""
+
+
+class PathNotInSchemaError(ReproError, ValueError):
+    """A path used in a constraint is not in Paths(Delta) for the schema."""
+
+
+class UndecidableProblemError(ReproError):
+    """An exact decision was requested for a provably undecidable problem.
+
+    The dispatcher raises this instead of silently falling back to a
+    semi-decision procedure, unless the caller opted in to semi-decision.
+    """
+
+
+class ChaseBudgetExceeded(ReproError):
+    """The chase hit its step budget before reaching a fixpoint."""
+
+
+class IncompleteFragmentError(ReproError):
+    """The instance falls outside a decider's guaranteed-complete
+    fragment and every sound fallback was indefinite.
+
+    Raised by the word-constraint decider for premise sets containing
+    equality-generating constraints (empty conclusion paths) when both
+    the sound closure and the budgeted chase fail to settle the query.
+    The three-rule axiomatization of [AV97] is complete only for the
+    fragment without empty conclusions; see ``repro.reasoning.word``.
+    """
+
+
+class ProofError(ReproError):
+    """An I_r proof object failed verification."""
+
+
+class XMLSyntaxError(ReproError, ValueError):
+    """The minimal XML parser rejected its input."""
+
+
+class RegexSyntaxError(ReproError, ValueError):
+    """A regular path expression could not be parsed."""

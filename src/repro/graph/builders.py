@@ -1,0 +1,183 @@
+"""Graph builders: the paper's running example and synthetic workloads.
+
+``figure1_graph`` reconstructs Figure 1 of the paper (the Penn-bib
+bibliography document).  ``from_nested_dict`` turns a nested-dict
+document (an XML-like tree) into a graph.  ``line_graph`` and
+``random_graph`` generate deterministic synthetic workloads for the
+benchmarks — all randomness flows through an explicit seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+
+from repro.graph.structure import Graph, Node
+
+
+def from_nested_dict(document: Mapping, root: Node = "r") -> Graph:
+    """Build a graph from a nested-dict document.
+
+    Each dict is a node; each key is an edge label; each value may be a
+    dict (subtree), a list (several edges with the same label), or a
+    scalar (a leaf node labeled by its value).  Shared subtrees are not
+    detected — the result is a tree, like a parsed XML document.
+
+    >>> g = from_nested_dict({"book": {"title": "Found. of DBs"}})
+    >>> len(g.eval_path("book.title"))
+    1
+    """
+    graph = Graph(root=root)
+
+    def build(node: Node, value) -> None:
+        if isinstance(value, Mapping):
+            for label, child in value.items():
+                attach(node, label, child)
+        else:
+            graph.set_sort(node, f"value:{value!r}")
+
+    def attach(node: Node, label: str, child) -> None:
+        if isinstance(child, Sequence) and not isinstance(child, (str, bytes)):
+            for element in child:
+                attach(node, label, element)
+        else:
+            target = graph.add_edge(node, label, graph.fresh_node())
+            build(target, child)
+
+    build(root, document)
+    return graph
+
+
+def figure1_graph() -> Graph:
+    """The XML document of Figure 1 (the Penn-bib database).
+
+    Three books, two persons; ``author``/``wrote`` inverse edges; a
+    ``ref`` edge between books; string/int leaves for ``title``,
+    ``ISBN``, ``year``, ``name``, ``SSN``, ``age``.  Node identifiers
+    are human-readable strings so tests and examples can refer to them.
+    """
+    g = Graph(root="r")
+    books = ["book1", "book2", "book3"]
+    persons = ["person1", "person2"]
+    for b in books:
+        g.add_edge("r", "book", b)
+    for p in persons:
+        g.add_edge("r", "person", p)
+
+    # Authorship, mirrored by the inverse `wrote` edges (Figure 1 shows
+    # four author/wrote pairs).
+    authorship = [
+        ("book1", "person1"),
+        ("book2", "person1"),
+        ("book2", "person2"),
+        ("book3", "person2"),
+    ]
+    for book, person in authorship:
+        g.add_edge(book, "author", person)
+        g.add_edge(person, "wrote", book)
+
+    # A citation between books.
+    g.add_edge("book1", "ref", "book2")
+
+    # Scalar attributes.
+    for b in books:
+        g.add_edge(b, "title", f"{b}.title")
+        g.add_edge(b, "ISBN", f"{b}.isbn")
+    g.add_edge("book1", "year", "book1.year")
+    for p in persons:
+        g.add_edge(p, "name", f"{p}.name")
+        g.add_edge(p, "SSN", f"{p}.ssn")
+    g.add_edge("person1", "age", "person1.age")
+    return g
+
+
+def penn_bib_with_locals() -> Graph:
+    """Penn-bib extended with MIT and Warner local databases (Section 1).
+
+    The root gains ``MIT`` and ``Warner`` edges leading to the roots of
+    two smaller bibliography graphs, each internally satisfying the
+    extent and inverse constraints.
+    """
+    g = figure1_graph()
+
+    def add_local(prefix: str, label: str) -> None:
+        local_root = f"{prefix}-root"
+        g.add_edge("r", label, local_root)
+        book = f"{prefix}-book1"
+        person = f"{prefix}-person1"
+        g.add_edge(local_root, "book", book)
+        g.add_edge(local_root, "person", person)
+        g.add_edge(book, "author", person)
+        g.add_edge(person, "wrote", book)
+        g.add_edge(book, "title", f"{book}.title")
+        g.add_edge(person, "name", f"{person}.name")
+
+    add_local("mit", "MIT")
+    add_local("warner", "Warner")
+    return g
+
+
+def line_graph(labels: Sequence[str]) -> Graph:
+    """A single path ``r -l1-> n1 -l2-> ... -lk-> nk``."""
+    g = Graph(root="r")
+    g.add_path("r", list(labels) and ".".join(labels) or "")
+    return g
+
+
+def random_graph(
+    node_count: int,
+    labels: Sequence[str],
+    edge_probability: float = 0.2,
+    seed: int = 0,
+    ensure_connected: bool = True,
+) -> Graph:
+    """A random rooted graph with ``node_count`` nodes.
+
+    Edges are sampled independently per (src, label, dst) with the
+    given probability.  With ``ensure_connected`` every node is first
+    attached to a uniformly random earlier node, so the whole graph is
+    reachable from the root (constraint checking is only about the
+    reachable part, per the ``rho(r, x)`` guards).
+    """
+    if node_count < 1:
+        raise ValueError("need at least the root node")
+    rng = random.Random(seed)
+    labels = list(labels)
+    g = Graph(root=0, nodes=range(node_count))
+    if ensure_connected:
+        for node in range(1, node_count):
+            parent = rng.randrange(node)
+            g.add_edge(parent, rng.choice(labels), node)
+    for src in range(node_count):
+        for label in labels:
+            for dst in range(node_count):
+                if rng.random() < edge_probability:
+                    g.add_edge(src, label, dst)
+    return g
+
+
+def scaled_bibliography(books: int, persons: int, seed: int = 0) -> Graph:
+    """A Penn-bib shaped graph with many books/persons (bench workload).
+
+    Every book gets 1-3 authors; author/wrote edges are kept inverse;
+    10% of books reference another book.
+    """
+    rng = random.Random(seed)
+    g = Graph(root="r")
+    book_ids = [f"b{i}" for i in range(books)]
+    person_ids = [f"p{i}" for i in range(persons)]
+    for b in book_ids:
+        g.add_edge("r", "book", b)
+        g.add_edge(b, "title", f"{b}.title")
+        g.add_edge(b, "ISBN", f"{b}.isbn")
+    for p in person_ids:
+        g.add_edge("r", "person", p)
+        g.add_edge(p, "name", f"{p}.name")
+        g.add_edge(p, "SSN", f"{p}.ssn")
+    for b in book_ids:
+        for p in rng.sample(person_ids, k=min(len(person_ids), rng.randint(1, 3))):
+            g.add_edge(b, "author", p)
+            g.add_edge(p, "wrote", b)
+        if rng.random() < 0.1:
+            g.add_edge(b, "ref", rng.choice(book_ids))
+    return g

@@ -1,0 +1,84 @@
+"""Graph (de)serialization: JSON-style dicts and DOT export.
+
+The dict format is stable and round-trips exactly::
+
+    {
+        "root": "r",
+        "nodes": ["r", "b1", ...],
+        "edges": [["r", "book", "b1"], ...],
+        "sorts": {"b1": "Book", ...},
+    }
+
+Node identifiers must be JSON-representable (strings or ints) for the
+dict format; :func:`to_dict` raises otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import GraphError
+from repro.graph.structure import Graph
+
+_JSONABLE = (str, int)
+
+
+def _check_jsonable(node: Any) -> Any:
+    if not isinstance(node, _JSONABLE):
+        raise GraphError(
+            f"node {node!r} is not serializable (use str or int identifiers)"
+        )
+    return node
+
+
+def to_dict(graph: Graph) -> dict:
+    """Serialize a graph to the stable dict format (sorted, canonical)."""
+    nodes = sorted((_check_jsonable(n) for n in graph.nodes), key=repr)
+    edges = sorted(graph.edges(), key=repr)
+    out: dict = {
+        "root": _check_jsonable(graph.root),
+        "nodes": nodes,
+        "edges": [[s, l, d] for (s, l, d) in edges],
+    }
+    sorts = graph.sorts
+    if sorts:
+        out["sorts"] = {repr(k): v for k, v in sorted(sorts.items(), key=repr)}
+        # repr-keying would break round-tripping; use plain keys when
+        # every node is a string, which is the common case.
+        if all(isinstance(k, str) for k in sorts):
+            out["sorts"] = dict(sorted(sorts.items()))
+    return out
+
+
+def from_dict(data: dict) -> Graph:
+    """Rebuild a graph from :func:`to_dict` output."""
+    try:
+        root = data["root"]
+        nodes = data["nodes"]
+        edges = data["edges"]
+    except KeyError as exc:
+        raise GraphError(f"missing key in graph dict: {exc}") from exc
+    graph = Graph(root=root, nodes=nodes)
+    for src, label, dst in edges:
+        graph.add_edge(src, label, dst)
+    for node, sort in data.get("sorts", {}).items():
+        graph.set_sort(node, sort)
+    return graph
+
+
+def to_dot(graph: Graph, name: str = "G") -> str:
+    """Render a graph in Graphviz DOT syntax (for documentation)."""
+
+    def quote(value: object) -> str:
+        return '"' + str(value).replace('"', '\\"') + '"'
+
+    lines = [f"digraph {name} {{"]
+    lines.append(f"  {quote(graph.root)} [shape=doublecircle];")
+    for node in sorted(graph.nodes, key=repr):
+        sort = graph.sort_of(node)
+        if sort is not None:
+            lines.append(f"  {quote(node)} [label={quote(f'{node}:{sort}')}];")
+    for src, label, dst in sorted(graph.edges(), key=repr):
+        lines.append(f"  {quote(src)} -> {quote(dst)} [label={quote(label)}];")
+    lines.append("}")
+    return "\n".join(lines)

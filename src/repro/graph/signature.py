@@ -1,0 +1,96 @@
+"""Relational signatures ``sigma = (r, E)``.
+
+A signature fixes the vocabulary of the constraint language
+(Section 2.1): a constant symbol naming the root plus a finite set of
+binary relation symbols naming the edge labels.  Graphs, constraints
+and deciders all agree on labels by string identity, so the signature
+is mostly a validation and documentation device — but the deciders use
+it to know the full alphabet (e.g. when complementing automata).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import GraphError
+from repro.paths import Path
+
+
+class Signature:
+    """The vocabulary ``(r, E)`` of a class of sigma-structures.
+
+    >>> sig = Signature(["book", "author"], root_name="r")
+    >>> "book" in sig
+    True
+    >>> sig.validate_path(Path.parse("book.author"))
+    Path('book.author')
+    """
+
+    __slots__ = ("_labels", "_root_name")
+
+    def __init__(self, labels: Iterable[str], root_name: str = "r") -> None:
+        labels = tuple(labels)
+        for label in labels:
+            # Reuse Path's label validation by round-tripping.
+            Path.single(label)
+        self._labels = frozenset(labels)
+        self._root_name = root_name
+
+    @property
+    def labels(self) -> frozenset[str]:
+        """The edge alphabet E."""
+        return self._labels
+
+    @property
+    def root_name(self) -> str:
+        """The name of the root constant (purely cosmetic)."""
+        return self._root_name
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self):
+        return iter(sorted(self._labels))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Signature):
+            return self._labels == other._labels
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._labels)
+
+    def __repr__(self) -> str:
+        labels = ", ".join(sorted(self._labels))
+        return f"Signature([{labels}], root_name={self._root_name!r})"
+
+    def extend(self, labels: Iterable[str]) -> "Signature":
+        """A new signature with extra labels added."""
+        return Signature(self._labels | set(labels), self._root_name)
+
+    def validate_path(self, path: Path | str) -> Path:
+        """Check every label of ``path`` is in the alphabet.
+
+        Returns the coerced :class:`Path`; raises :class:`GraphError`
+        on a foreign label.
+        """
+        path = Path.coerce(path)
+        foreign = path.alphabet() - self._labels
+        if foreign:
+            raise GraphError(
+                f"path {path} uses labels {sorted(foreign)} outside the "
+                f"signature alphabet {sorted(self._labels)}"
+            )
+        return path
+
+    @classmethod
+    def union(cls, *signatures: "Signature") -> "Signature":
+        """The pointwise union of several signatures."""
+        labels: set[str] = set()
+        for sig in signatures:
+            labels |= sig.labels
+        root = signatures[0].root_name if signatures else "r"
+        return cls(labels, root)

@@ -1,0 +1,27 @@
+"""Monoids and the word problem.
+
+The paper's undecidability proofs (Theorems 4.3, 5.2, 6.1, 6.2) are
+reductions from the word problem for (finite) monoids (Theorem 4.4,
+after [AHV95] / [LP81]): given a finite set of equations Gamma over a
+finite alphabet and a test equation (alpha, beta), decide whether every
+(finite) monoid and homomorphism satisfying Gamma also satisfies the
+test equation.
+
+This package provides the monoid side of those reductions: finitely
+presented monoids, finite monoids given by multiplication tables,
+homomorphism search, and a semi-decider for the word problem
+(bidirectional rewriting search for the positive side; abelianization
+and small-model separation for the negative side).
+"""
+
+from repro.monoids.presentation import MonoidPresentation
+from repro.monoids.finite import FiniteMonoid, Homomorphism
+from repro.monoids.word_problem import WordProblemVerdict, decide_word_problem
+
+__all__ = [
+    "MonoidPresentation",
+    "FiniteMonoid",
+    "Homomorphism",
+    "WordProblemVerdict",
+    "decide_word_problem",
+]

@@ -1,0 +1,232 @@
+"""A semi-decider for the word problem for (finite) monoids.
+
+Theorem 4.4 (classical): the word problem for monoids and the word
+problem for finite monoids are both undecidable.  This module therefore
+implements a *sound* three-valued procedure:
+
+* ``TRUE`` — an explicit Thue-rewriting derivation ``alpha <->* beta``
+  was found; then every monoid homomorphism respecting the equations
+  equates the two words (so the answer is yes for both the general and
+  the finite problem);
+* ``FALSE`` — a separating certificate was found: either the
+  abelianization invariant (the letter-count difference of the test
+  words is outside the integer lattice spanned by the equations'
+  differences; finitely generated abelian groups are residually finite,
+  so a *finite* separating quotient exists too), or an explicit finite
+  monoid + homomorphism from the search library;
+* ``UNKNOWN`` — budgets exhausted; the caller learns nothing, which is
+  the honest outcome for an undecidable problem.
+
+Both certificate kinds are checkable objects, and the constraint-side
+reductions (Sections 4.1, 5.2) consume the FALSE certificates to build
+the paper's counter-model structures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.monoids.finite import (
+    FiniteMonoid,
+    Homomorphism,
+    find_separating_homomorphism,
+)
+from repro.monoids.presentation import MonoidPresentation
+from repro.paths import Path
+from repro.truth import Trilean
+
+
+@dataclass(frozen=True)
+class WordProblemVerdict:
+    """Outcome of :func:`decide_word_problem` with its certificate."""
+
+    answer: Trilean
+    method: str
+    derivation: tuple[Path, ...] | None = None
+    separator: Homomorphism | None = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise TypeError("use .answer; a verdict is not a boolean")
+
+
+def letter_counts(word: Path, alphabet: tuple[str, ...]) -> tuple[int, ...]:
+    """The Parikh vector of a word."""
+    counts = {letter: 0 for letter in alphabet}
+    for letter in word:
+        counts[letter] += 1
+    return tuple(counts[letter] for letter in alphabet)
+
+
+def lattice_contains(vectors: list[tuple[int, ...]], target: tuple[int, ...]) -> bool:
+    """Is ``target`` in the integer lattice spanned by ``vectors``?
+
+    Row-style Hermite reduction with exact integer arithmetic.  Used as
+    the abelianization invariant: applying an equation anywhere in a
+    word shifts its Parikh vector by +/- the equation's difference
+    vector, so congruent words differ by a lattice element.
+    """
+    if not any(target):
+        return True
+    rows = [list(v) for v in vectors if any(v)]
+    goal = list(target)
+    width = len(target)
+    pivot_rows: list[list[int]] = []
+    col = 0
+    while col < width and rows:
+        # Reduce all rows on this column to a single pivot via gcd steps.
+        while True:
+            nonzero = [r for r in rows if r[col] != 0]
+            if len(nonzero) <= 1:
+                break
+            nonzero.sort(key=lambda r: abs(r[col]))
+            smallest = nonzero[0]
+            for other in nonzero[1:]:
+                q = other[col] // smallest[col]
+                for j in range(width):
+                    other[j] -= q * smallest[j]
+            rows = [r for r in rows if any(r)]
+        pivot = next((r for r in rows if r[col] != 0), None)
+        if pivot is not None:
+            rows.remove(pivot)
+            if pivot[col] < 0:
+                pivot = [-x for x in pivot]
+            pivot_rows.append(pivot)
+        col += 1
+    # Back-substitute the target against the echelon basis.
+    for pivot in pivot_rows:
+        col = next(j for j in range(width) if pivot[j] != 0)
+        if goal[col] % pivot[col] != 0:
+            continue  # this pivot cannot clear the column exactly
+        q = goal[col] // pivot[col]
+        for j in range(width):
+            goal[j] -= q * pivot[j]
+    return not any(goal)
+
+
+def abelianization_separates(
+    presentation: MonoidPresentation, alpha: Path, beta: Path
+) -> bool:
+    """True when the commutative-quotient invariant proves alpha != beta."""
+    alphabet = presentation.alphabet
+    diffs = [
+        tuple(
+            a - b
+            for a, b in zip(
+                letter_counts(lhs, alphabet), letter_counts(rhs, alphabet)
+            )
+        )
+        for lhs, rhs in presentation.equations
+    ]
+    target = tuple(
+        a - b
+        for a, b in zip(
+            letter_counts(alpha, alphabet), letter_counts(beta, alphabet)
+        )
+    )
+    return not lattice_contains(diffs, target)
+
+
+def find_thue_derivation(
+    presentation: MonoidPresentation,
+    alpha: Path,
+    beta: Path,
+    max_expansions: int = 20_000,
+    max_length: int | None = None,
+) -> tuple[Path, ...] | None:
+    """Bidirectional BFS for a rewrite chain ``alpha <->* beta``."""
+    if alpha == beta:
+        return (alpha,)
+    if max_length is None:
+        longest = max(
+            (max(len(l), len(r)) for l, r in presentation.equations),
+            default=0,
+        )
+        max_length = max(len(alpha), len(beta)) + longest + 4
+
+    # Two frontiers meeting in the middle; parents maps word -> (side,
+    # predecessor).  The Thue relation is symmetric, so chains from the
+    # two sides concatenate directly.
+    parents: dict[Path, tuple[str, Path | None]] = {
+        alpha: ("a", None),
+        beta: ("b", None),
+    }
+    queue: deque[Path] = deque([alpha, beta])
+    expansions = 0
+    meeting: tuple[Path, Path] | None = None
+    while queue and expansions < max_expansions and meeting is None:
+        word = queue.popleft()
+        side = parents[word][0]
+        expansions += 1
+        for nxt in presentation.one_step_rewrites(word):
+            if len(nxt) > max_length:
+                continue
+            if nxt in parents:
+                if parents[nxt][0] != side:
+                    meeting = (word, nxt)
+                    break
+                continue
+            parents[nxt] = (side, word)
+            queue.append(nxt)
+    if meeting is None:
+        return None
+
+    def chain(word: Path) -> list[Path]:
+        out = [word]
+        while parents[word][1] is not None:
+            word = parents[word][1]  # type: ignore[assignment]
+            out.append(word)
+        return out
+
+    left, right = meeting
+    if parents[left][0] == "b":
+        left, right = right, left
+    forward_part = list(reversed(chain(left)))
+    backward_part = chain(right)
+    return tuple(forward_part + backward_part)
+
+
+def check_thue_derivation(
+    presentation: MonoidPresentation, derivation: tuple[Path, ...]
+) -> bool:
+    """Verify a rewrite chain step by step."""
+    for current, nxt in zip(derivation, derivation[1:]):
+        if nxt not in set(presentation.one_step_rewrites(current)):
+            return False
+    return True
+
+
+def decide_word_problem(
+    presentation: MonoidPresentation,
+    alpha: Path | str,
+    beta: Path | str,
+    max_expansions: int = 20_000,
+    monoid_library: list[FiniteMonoid] | None = None,
+) -> WordProblemVerdict:
+    """Sound three-valued answer to ``Gamma |= (alpha, beta)``.
+
+    All certificates are valid for both the general and the finite
+    word problem (see the module docstring).
+    """
+    alpha = Path.coerce(alpha)
+    beta = Path.coerce(beta)
+    if alpha == beta:
+        return WordProblemVerdict(Trilean.TRUE, "identical", (alpha,))
+
+    if abelianization_separates(presentation, alpha, beta):
+        return WordProblemVerdict(Trilean.FALSE, "abelianization")
+
+    derivation = find_thue_derivation(
+        presentation, alpha, beta, max_expansions=max_expansions
+    )
+    if derivation is not None:
+        return WordProblemVerdict(Trilean.TRUE, "derivation", derivation)
+
+    separator = find_separating_homomorphism(
+        presentation, alpha, beta, monoids=monoid_library
+    )
+    if separator is not None:
+        return WordProblemVerdict(
+            Trilean.FALSE, "finite-separation", separator=separator
+        )
+    return WordProblemVerdict(Trilean.UNKNOWN, "budget-exhausted")

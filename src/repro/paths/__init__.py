@@ -1,0 +1,12 @@
+"""Paths: finite words over an edge-label alphabet.
+
+A *path* in the paper (Section 2.1) is a first-order formula
+``rho(x, y)`` asserting that node ``y`` is reachable from node ``x`` by
+following a fixed sequence of edge labels.  Syntactically a path is just
+that label sequence, so this package represents paths as immutable words
+over label strings, with concatenation, prefix tests, and parsing.
+"""
+
+from repro.paths.path import EPSILON, Path
+
+__all__ = ["Path", "EPSILON"]

@@ -1,0 +1,253 @@
+"""The :class:`Path` type: an immutable word of edge labels.
+
+The paper defines a path as a logical formula built from binary edge
+relations (Section 2.1):
+
+* the empty path ``epsilon(x, y)`` is ``x = y``;
+* ``K . rho`` is ``exists z (K(x, z) and rho(z, y))``.
+
+A path is therefore determined by its label sequence.  :class:`Path`
+stores that sequence as a tuple of strings and provides the operations
+the constraint language needs: concatenation (``.concat`` / ``*``),
+prefix tests (``is_prefix_of``), prefix enumeration, and parsing from
+the dotted surface syntax used throughout this library
+(``"book.author"``).
+
+Labels may be any non-empty strings that do not contain the separator
+``.`` or whitespace; this keeps the surface syntax unambiguous.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator
+from functools import total_ordering
+
+from repro.errors import PathSyntaxError
+
+_LABEL_RE = re.compile(r"^[^\s.()]+$")
+
+#: Surface syntax for the empty path.
+_EPSILON_TOKENS = frozenset({"", "()", "epsilon", "eps", "ε"})
+
+
+def _check_label(label: str) -> str:
+    if not isinstance(label, str):
+        raise PathSyntaxError(f"edge label must be a string, got {label!r}")
+    if not _LABEL_RE.match(label):
+        raise PathSyntaxError(
+            f"invalid edge label {label!r}: labels are non-empty strings "
+            "without whitespace, dots or parentheses"
+        )
+    return label
+
+
+@total_ordering
+class Path:
+    """An immutable sequence of edge labels.
+
+    Instances are hashable and totally ordered (by length, then
+    lexicographically — the *shortlex* order, which several deciders use
+    as a canonical ordering on words).
+
+    >>> p = Path.parse("book.author")
+    >>> p.labels
+    ('book', 'author')
+    >>> p * Path.parse("name")
+    Path('book.author.name')
+    >>> Path.empty().is_prefix_of(p)
+    True
+    """
+
+    __slots__ = ("_labels", "_hash")
+
+    def __init__(self, labels: Iterable[str] = ()) -> None:
+        self._labels = tuple(_check_label(lab) for lab in labels)
+        self._hash = hash(self._labels)
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Path":
+        """The empty path ``epsilon`` (``x = y``)."""
+        return _EPSILON
+
+    @classmethod
+    def single(cls, label: str) -> "Path":
+        """A one-edge path."""
+        return cls((label,))
+
+    @classmethod
+    def parse(cls, text: str) -> "Path":
+        """Parse the dotted surface syntax.
+
+        ``"book.author"`` parses to a two-label path.  The empty path
+        may be written ``""``, ``"()"``, ``"epsilon"`` or ``"eps"``.
+        Whitespace around the whole expression is ignored.
+        """
+        if not isinstance(text, str):
+            raise PathSyntaxError(f"expected a string, got {text!r}")
+        text = text.strip()
+        if text in _EPSILON_TOKENS:
+            return cls.empty()
+        return cls(part.strip() for part in text.split("."))
+
+    @classmethod
+    def coerce(cls, value: "Path | str | Iterable[str]") -> "Path":
+        """Coerce a path-like value (Path, dotted string, or label
+        iterable) to a :class:`Path`."""
+        if isinstance(value, Path):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        return cls(value)
+
+    # -- basic queries ------------------------------------------------
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """The label sequence as a tuple."""
+        return self._labels
+
+    def is_empty(self) -> bool:
+        """True for the empty path epsilon."""
+        return not self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Path(self._labels[index])
+        return self._labels[index]
+
+    def first(self) -> str:
+        """The first label; raises on the empty path."""
+        if not self._labels:
+            raise IndexError("the empty path has no first label")
+        return self._labels[0]
+
+    def last(self) -> str:
+        """The last label; raises on the empty path."""
+        if not self._labels:
+            raise IndexError("the empty path has no last label")
+        return self._labels[-1]
+
+    # -- algebra ------------------------------------------------------
+
+    def concat(self, other: "Path | str") -> "Path":
+        """Path concatenation (Section 2.1)."""
+        other = Path.coerce(other)
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return Path(self._labels + other._labels)
+
+    def __mul__(self, other: "Path | str") -> "Path":
+        return self.concat(other)
+
+    def prepend(self, label: str) -> "Path":
+        """The path ``label . self``."""
+        return Path((label,) + self._labels)
+
+    def append(self, label: str) -> "Path":
+        """The path ``self . label``."""
+        return Path(self._labels + (label,))
+
+    def is_prefix_of(self, other: "Path | str") -> bool:
+        """The prefix relation ``self <=_p other``: ``other`` equals
+        ``self . rest`` for some path ``rest``."""
+        other = Path.coerce(other)
+        return other._labels[: len(self._labels)] == self._labels
+
+    def is_proper_prefix_of(self, other: "Path | str") -> bool:
+        """Strict prefix: prefix and not equal."""
+        other = Path.coerce(other)
+        return len(self) < len(other) and self.is_prefix_of(other)
+
+    def strip_prefix(self, prefix: "Path | str") -> "Path":
+        """The unique ``rest`` with ``self == prefix . rest``.
+
+        Raises :class:`ValueError` when ``prefix`` is not a prefix.
+        """
+        prefix = Path.coerce(prefix)
+        if not prefix.is_prefix_of(self):
+            raise ValueError(f"{prefix!r} is not a prefix of {self!r}")
+        return Path(self._labels[len(prefix) :])
+
+    def prefixes(self) -> Iterator["Path"]:
+        """All prefixes, from epsilon up to the path itself.
+
+        Matches the paper's example: the prefixes of
+        ``person.wrote.ref`` are epsilon, ``person``, ``person.wrote``
+        and the path itself.
+        """
+        for i in range(len(self._labels) + 1):
+            yield Path(self._labels[:i])
+
+    def suffixes(self) -> Iterator["Path"]:
+        """All suffixes, from the path itself down to epsilon."""
+        for i in range(len(self._labels) + 1):
+            yield Path(self._labels[i:])
+
+    def alphabet(self) -> frozenset[str]:
+        """The set of labels occurring in this path."""
+        return frozenset(self._labels)
+
+    # -- dunder plumbing ----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Path):
+            return self._labels == other._labels
+        return NotImplemented
+
+    def __lt__(self, other: "Path") -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        # Shortlex: shorter words first, ties broken lexicographically.
+        return (len(self._labels), self._labels) < (
+            len(other._labels),
+            other._labels,
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        if not self._labels:
+            return "()"
+        return ".".join(self._labels)
+
+    def __repr__(self) -> str:
+        return f"Path({str(self)!r})"
+
+    def to_formula(self, tail: str = "x", head: str = "y") -> str:
+        """Render as the first-order formula of Section 2.1.
+
+        >>> Path.parse("wrote.ref").to_formula("x", "y")
+        'exists z1 (wrote(x, z1) and ref(z1, y))'
+        """
+        if not self._labels:
+            return f"{tail} = {head}"
+        if len(self._labels) == 1:
+            return f"{self._labels[0]}({tail}, {head})"
+        parts = []
+        current = tail
+        closing = 0
+        for i, label in enumerate(self._labels[:-1]):
+            nxt = f"z{i + 1}"
+            parts.append(f"exists {nxt} ({label}({current}, {nxt}) and ")
+            current = nxt
+            closing += 1
+        parts.append(f"{self._labels[-1]}({current}, {head})")
+        return "".join(parts) + ")" * closing
+
+
+_EPSILON = Path(())
+
+#: Module-level singleton for the empty path.
+EPSILON = _EPSILON

@@ -1,0 +1,24 @@
+"""Regular path queries and constraint-aware optimization.
+
+The paper motivates path-constraint implication with query
+optimization (Sections 1-2): knowing that ``book.author => person``
+lets an engine answer ``book.author``-shaped queries from the
+``person`` extent, and implied containments let it prune union
+branches.  This package provides the query side:
+
+* :mod:`repro.query.rpq` — regular path query evaluation by
+  automaton-graph product;
+* :mod:`repro.query.optimizer` — subsumption pruning and
+  equivalent-path rewriting driven by the word-constraint decider.
+"""
+
+from repro.query.rpq import RPQResult, evaluate_rpq, evaluate_word
+from repro.query.optimizer import OptimizationReport, WordQueryOptimizer
+
+__all__ = [
+    "RPQResult",
+    "evaluate_rpq",
+    "evaluate_word",
+    "WordQueryOptimizer",
+    "OptimizationReport",
+]

@@ -1,0 +1,174 @@
+"""Constraint-aware optimization of path queries.
+
+Two classical uses of implied word constraints (Section 2.2 calls
+implication "useful for, among other things, query optimization"):
+
+* **subsumption pruning** — in a union of word queries, a branch whose
+  answers are provably contained in another branch's contributes
+  nothing and is dropped (``Sigma |- p => q`` gives
+  ``answers(p) c answers(q)`` in every database satisfying Sigma);
+* **equivalent rewriting** — a word query may be replaced by any
+  provably *equivalent* word (derivable in both directions); picking
+  the shortlex-least equivalent, e.g. rewriting ``book.author.wrote``
+  to ``book`` under inverse constraints, turns long navigations into
+  extent scans.
+
+Both are sound only on databases that satisfy Sigma; the optimizer is
+deliberately decoupled from evaluation so callers choose when to trust
+their constraints.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.constraints.ast import PathConstraint
+from repro.graph.structure import Graph, Node
+from repro.paths import Path
+from repro.query.rpq import RPQResult, evaluate_word
+from repro.reasoning.word import WordImplicationDecider
+from repro.constraints.ast import word as word_constraint
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimizer did to a union-of-words query."""
+
+    original: tuple[Path, ...]
+    optimized: tuple[Path, ...]
+    pruned: tuple[tuple[Path, Path], ...] = ()  # (dropped, absorbed-by)
+    rewrites: tuple[tuple[Path, Path], ...] = ()  # (from, to)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def branches_saved(self) -> int:
+        return len(self.original) - len(self.optimized)
+
+    @property
+    def labels_saved(self) -> int:
+        return sum(len(p) for p in self.original) - sum(
+            len(p) for p in self.optimized
+        )
+
+
+class WordQueryOptimizer:
+    """Optimizes word queries under a set of word constraints.
+
+    >>> from repro.constraints import parse_constraints
+    >>> sigma = parse_constraints('''
+    ...     book.author => person
+    ...     book.author.wrote => book
+    ... ''')
+    >>> optimizer = WordQueryOptimizer(sigma)
+    >>> report = optimizer.optimize_union(
+    ...     ["book.author", "person", "book.author.wrote"])
+    >>> sorted(str(p) for p in report.optimized)
+    ['book.author.wrote', 'person']
+    """
+
+    def __init__(self, sigma: Iterable[PathConstraint]) -> None:
+        self._decider = WordImplicationDecider(sigma)
+
+    @property
+    def decider(self) -> WordImplicationDecider:
+        return self._decider
+
+    def subsumes(self, narrow: Path | str, wide: Path | str) -> bool:
+        """Is ``answers(narrow) c answers(wide)`` implied?"""
+        return self._decider.implies(
+            word_constraint(Path.coerce(narrow), Path.coerce(wide))
+        )
+
+    def equivalent(self, left: Path | str, right: Path | str) -> bool:
+        """Provable equality of answer sets under Sigma."""
+        return self.subsumes(left, right) and self.subsumes(right, left)
+
+    def shortest_equivalent(
+        self, path: Path | str, max_extra_length: int = 0
+    ) -> Path:
+        """The shortlex-least word provably equivalent to ``path``.
+
+        Candidates are drawn from the ``post*`` language of the query
+        word (everything it is contained in), filtered by reverse
+        containment.  ``max_extra_length`` widens the candidate length
+        bound beyond the original length.
+        """
+        path = Path.coerce(path)
+        best = path
+        for candidate in self._decider.consequences(
+            path, max_length=len(path) + max_extra_length
+        ):
+            if candidate < best and self.subsumes(candidate, path):
+                best = candidate
+        return best
+
+    def optimize_union(
+        self, branches: Sequence[Path | str], rewrite: bool = True
+    ) -> OptimizationReport:
+        """Prune subsumed branches, then rewrite survivors.
+
+        Pruning keeps the shortlex-least member of each mutual-
+        subsumption clique, so the result is deterministic.
+        """
+        original = tuple(Path.coerce(b) for b in branches)
+        # Deduplicate, keep deterministic order.
+        ordered = sorted(set(original))
+        pruned_pairs: list[tuple[Path, Path]] = []
+        kept: list[Path] = []
+        for candidate in ordered:
+            absorbed_by = None
+            for other in ordered:
+                if other == candidate:
+                    continue
+                if self.subsumes(candidate, other):
+                    # Mutual subsumption: keep the shortlex-least.
+                    if self.subsumes(other, candidate) and candidate < other:
+                        continue
+                    absorbed_by = other
+                    break
+            if absorbed_by is None:
+                kept.append(candidate)
+            else:
+                pruned_pairs.append((candidate, absorbed_by))
+
+        rewrites: list[tuple[Path, Path]] = []
+        if rewrite:
+            rewritten: list[Path] = []
+            for branch in kept:
+                best = self.shortest_equivalent(branch)
+                if best != branch:
+                    rewrites.append((branch, best))
+                rewritten.append(best)
+            kept = sorted(set(rewritten))
+
+        report = OptimizationReport(
+            original=original,
+            optimized=tuple(kept),
+            pruned=tuple(pruned_pairs),
+            rewrites=tuple(rewrites),
+        )
+        if report.branches_saved:
+            report.notes.append(
+                f"pruned {report.branches_saved} subsumed branch(es)"
+            )
+        return report
+
+    def evaluate_union(
+        self, graph: Graph, branches: Sequence[Path | str], optimize: bool = True
+    ) -> tuple[frozenset[Node], list[RPQResult], OptimizationReport | None]:
+        """Evaluate a union query, optionally optimized first.
+
+        Returns (answers, per-branch results, report).  Correctness
+        requires the graph to satisfy Sigma — the guarantee the
+        integrity-checking engine provides.
+        """
+        report = self.optimize_union(branches) if optimize else None
+        plan = report.optimized if report is not None else [
+            Path.coerce(b) for b in branches
+        ]
+        results = [evaluate_word(graph, branch) for branch in plan]
+        answers: set[Node] = set()
+        for result in results:
+            answers |= result.answers
+        return frozenset(answers), results, report

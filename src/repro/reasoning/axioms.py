@@ -1,0 +1,307 @@
+"""The inference system I_r (Section 4.2) with checkable proof objects.
+
+The eight rules:
+
+====================  =======================================================
+Reflexivity           |- alpha => alpha
+Transitivity          alpha => beta, beta => gamma |- alpha => gamma
+Right-congruence      alpha => beta |- alpha.gamma => beta.gamma
+Commutativity         alpha => beta |- beta => alpha
+Forward-to-word       (alpha :: beta => gamma) |- alpha.beta => alpha.gamma
+Word-to-forward       alpha.beta => alpha.gamma |- (alpha :: beta => gamma)
+Backward-to-word      (alpha :: beta ~> gamma) |- alpha => alpha.beta.gamma
+Word-to-backward      alpha => alpha.beta.gamma |- (alpha :: beta ~> gamma)
+====================  =======================================================
+
+The first three are [AV97]'s complete system for untyped word
+constraints.  The full system is sound and complete for P_c over the
+model M (Theorem 4.9); commutativity and the word-to-* rules are
+*unsound* without the type constraint (they rely on Lemma 4.6's
+unique-node property), which is why the proof checker records which
+rule subset a proof uses and deciders only accept the sound subset for
+their context.
+
+Proof objects are flat line sequences; :func:`check_proof` verifies
+each line against its premises without trusting the producer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.constraints.ast import PathConstraint, word
+from repro.errors import ProofError
+from repro.paths import Path
+
+#: Rules sound in every context (untyped semantics).
+UNIVERSALLY_SOUND_RULES = frozenset(
+    {"axiom", "reflexivity", "transitivity", "right-congruence", "forward-to-word"}
+)
+
+#: Rules additionally sound over the model M (Lemmas 4.6-4.8).
+M_ONLY_RULES = frozenset(
+    {"commutativity", "word-to-forward", "backward-to-word", "word-to-backward"}
+)
+
+ALL_RULES = UNIVERSALLY_SOUND_RULES | M_ONLY_RULES
+
+
+@dataclass(frozen=True)
+class ProofLine:
+    """One derivation step: a constraint, its rule, premise indices."""
+
+    constraint: PathConstraint
+    rule: str
+    premises: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class IrProof:
+    """A derivation of ``conclusion`` from ``assumptions`` in I_r."""
+
+    assumptions: tuple[PathConstraint, ...]
+    lines: tuple[ProofLine, ...]
+
+    @property
+    def conclusion(self) -> PathConstraint:
+        if not self.lines:
+            raise ProofError("empty proof has no conclusion")
+        return self.lines[-1].constraint
+
+    def rules_used(self) -> frozenset[str]:
+        return frozenset(line.rule for line in self.lines)
+
+    def uses_only_sound_rules(self, context: str = "M") -> bool:
+        """Is every rule sound in the given context ("untyped" or "M")?"""
+        allowed = (
+            ALL_RULES if context == "M" else UNIVERSALLY_SOUND_RULES
+        )
+        return self.rules_used() <= allowed
+
+    def describe(self) -> str:
+        out = []
+        for i, line in enumerate(self.lines):
+            premises = (
+                f" [{', '.join(map(str, line.premises))}]" if line.premises else ""
+            )
+            out.append(f"{i}: {line.constraint}   ({line.rule}{premises})")
+        return "\n".join(out)
+
+
+def _check_line(
+    line: ProofLine,
+    derived: list[PathConstraint],
+    assumptions: frozenset[PathConstraint],
+) -> None:
+    """Raise :class:`ProofError` unless the line follows by its rule."""
+
+    def premise(position: int) -> PathConstraint:
+        index = line.premises[position]
+        if not 0 <= index < len(derived):
+            raise ProofError(f"premise index {index} out of range")
+        return derived[index]
+
+    def need_premises(count: int) -> None:
+        if len(line.premises) != count:
+            raise ProofError(
+                f"rule {line.rule} needs {count} premises, got "
+                f"{len(line.premises)}"
+            )
+
+    conclusion = line.constraint
+    rule = line.rule
+
+    if rule == "axiom":
+        need_premises(0)
+        if conclusion not in assumptions:
+            raise ProofError(f"{conclusion} is not an assumption")
+    elif rule == "reflexivity":
+        need_premises(0)
+        if not (
+            conclusion.is_word_constraint() and conclusion.lhs == conclusion.rhs
+        ):
+            raise ProofError("reflexivity derives only alpha => alpha")
+    elif rule == "transitivity":
+        need_premises(2)
+        first, second = premise(0), premise(1)
+        ok = (
+            first.is_word_constraint()
+            and second.is_word_constraint()
+            and conclusion.is_word_constraint()
+            and first.rhs == second.lhs
+            and conclusion.lhs == first.lhs
+            and conclusion.rhs == second.rhs
+        )
+        if not ok:
+            raise ProofError("transitivity premises do not chain")
+    elif rule == "right-congruence":
+        need_premises(1)
+        base = premise(0)
+        ok = base.is_word_constraint() and conclusion.is_word_constraint()
+        if ok:
+            if not (
+                base.lhs.is_prefix_of(conclusion.lhs)
+                and base.rhs.is_prefix_of(conclusion.rhs)
+            ):
+                ok = False
+            else:
+                suffix_l = conclusion.lhs.strip_prefix(base.lhs)
+                suffix_r = conclusion.rhs.strip_prefix(base.rhs)
+                ok = suffix_l == suffix_r
+        if not ok:
+            raise ProofError(
+                "right-congruence must append one suffix to both sides"
+            )
+    elif rule == "commutativity":
+        need_premises(1)
+        base = premise(0)
+        ok = (
+            base.is_word_constraint()
+            and conclusion.is_word_constraint()
+            and conclusion.lhs == base.rhs
+            and conclusion.rhs == base.lhs
+        )
+        if not ok:
+            raise ProofError("commutativity swaps a word constraint's sides")
+    elif rule == "forward-to-word":
+        need_premises(1)
+        base = premise(0)
+        ok = (
+            base.is_forward()
+            and conclusion.is_word_constraint()
+            and conclusion.lhs == base.prefix.concat(base.lhs)
+            and conclusion.rhs == base.prefix.concat(base.rhs)
+        )
+        if not ok:
+            raise ProofError("forward-to-word mismatch")
+    elif rule == "word-to-forward":
+        need_premises(1)
+        base = premise(0)
+        ok = (
+            base.is_word_constraint()
+            and conclusion.is_forward()
+            and base.lhs == conclusion.prefix.concat(conclusion.lhs)
+            and base.rhs == conclusion.prefix.concat(conclusion.rhs)
+        )
+        if not ok:
+            raise ProofError("word-to-forward mismatch")
+    elif rule == "backward-to-word":
+        need_premises(1)
+        base = premise(0)
+        ok = (
+            base.is_backward()
+            and conclusion.is_word_constraint()
+            and conclusion.lhs == base.prefix
+            and conclusion.rhs == base.prefix.concat(base.lhs).concat(base.rhs)
+        )
+        if not ok:
+            raise ProofError("backward-to-word mismatch")
+    elif rule == "word-to-backward":
+        need_premises(1)
+        base = premise(0)
+        ok = (
+            base.is_word_constraint()
+            and conclusion.is_backward()
+            and base.lhs == conclusion.prefix
+            and base.rhs
+            == conclusion.prefix.concat(conclusion.lhs).concat(conclusion.rhs)
+        )
+        if not ok:
+            raise ProofError("word-to-backward mismatch")
+    else:
+        raise ProofError(f"unknown rule {rule!r}")
+
+
+def check_proof(proof: IrProof) -> PathConstraint:
+    """Verify every line; returns the conclusion.
+
+    Raises :class:`ProofError` with the offending line index on any
+    failure.  Verification is independent of how the proof was found.
+    """
+    assumptions = frozenset(proof.assumptions)
+    derived: list[PathConstraint] = []
+    for index, line in enumerate(proof.lines):
+        try:
+            _check_line(line, derived, assumptions)
+        except ProofError as exc:
+            raise ProofError(f"line {index}: {exc}") from exc
+        derived.append(line.constraint)
+    return proof.conclusion
+
+
+class ProofBuilder:
+    """Incremental construction of an I_r proof with line reuse."""
+
+    def __init__(self, assumptions: Iterable[PathConstraint]) -> None:
+        self._assumptions = tuple(assumptions)
+        self._lines: list[ProofLine] = []
+        self._index: dict[tuple[PathConstraint, str, tuple[int, ...]], int] = {}
+
+    def _emit(
+        self, constraint: PathConstraint, rule: str, premises: tuple[int, ...] = ()
+    ) -> int:
+        key = (constraint, rule, premises)
+        if key in self._index:
+            return self._index[key]
+        self._lines.append(ProofLine(constraint, rule, premises))
+        index = len(self._lines) - 1
+        self._index[key] = index
+        return index
+
+    def axiom(self, constraint: PathConstraint) -> int:
+        if constraint not in self._assumptions:
+            raise ProofError(f"{constraint} is not an assumption")
+        return self._emit(constraint, "axiom")
+
+    def reflexivity(self, alpha: Path) -> int:
+        return self._emit(word(alpha, alpha), "reflexivity")
+
+    def transitivity(self, first: int, second: int) -> int:
+        a = self._lines[first].constraint
+        b = self._lines[second].constraint
+        return self._emit(word(a.lhs, b.rhs), "transitivity", (first, second))
+
+    def right_congruence(self, base: int, suffix: Path) -> int:
+        constraint = self._lines[base].constraint
+        if suffix.is_empty():
+            return base
+        return self._emit(
+            word(constraint.lhs.concat(suffix), constraint.rhs.concat(suffix)),
+            "right-congruence",
+            (base,),
+        )
+
+    def commutativity(self, base: int) -> int:
+        constraint = self._lines[base].constraint
+        return self._emit(
+            word(constraint.rhs, constraint.lhs), "commutativity", (base,)
+        )
+
+    def forward_to_word(self, base: int) -> int:
+        phi = self._lines[base].constraint
+        return self._emit(
+            word(phi.prefix.concat(phi.lhs), phi.prefix.concat(phi.rhs)),
+            "forward-to-word",
+            (base,),
+        )
+
+    def backward_to_word(self, base: int) -> int:
+        phi = self._lines[base].constraint
+        return self._emit(
+            word(phi.prefix, phi.prefix.concat(phi.lhs).concat(phi.rhs)),
+            "backward-to-word",
+            (base,),
+        )
+
+    def word_to_forward(self, base: int, target: PathConstraint) -> int:
+        return self._emit(target, "word-to-forward", (base,))
+
+    def word_to_backward(self, base: int, target: PathConstraint) -> int:
+        return self._emit(target, "word-to-backward", (base,))
+
+    def line_constraint(self, index: int) -> PathConstraint:
+        return self._lines[index].constraint
+
+    def build(self) -> IrProof:
+        return IrProof(assumptions=self._assumptions, lines=tuple(self._lines))

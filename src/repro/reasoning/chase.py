@@ -1,0 +1,182 @@
+"""A chase for P_c constraints, and chase-based semi-decision.
+
+P_c constraints are tuple-generating dependencies over binary
+relations (with an equality-generating special case when the
+conclusion path is empty), so the classic chase applies:
+
+* **repair** — while some constraint has a violating witness pair
+  ``(x, y)``, add a fresh conclusion path (last edge landing on the
+  required node), or merge the two nodes when the conclusion is the
+  empty path;
+* **implication** — chase the canonical tableau of ``not phi`` (the
+  prefix path to ``x`` and the hypothesis path to ``y``) with Sigma.
+  If the conclusion holds at any finite stage, Sigma implies phi (the
+  chased tableau maps homomorphically into every model of Sigma, and
+  the conclusion is positive-existential).  If a fixpoint is reached
+  without it, the fixpoint is a *finite* counter-model, refuting both
+  implication and finite implication.  Otherwise: UNKNOWN — inevitable
+  budget honesty, since untyped P_c implication is undecidable
+  (Theorem 4.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.checking.satisfaction import violations
+from repro.constraints.ast import PathConstraint
+from repro.graph.structure import Graph, Node
+from repro.reasoning.result import ImplicationResult
+from repro.truth import Trilean
+
+DEFAULT_CHASE_STEPS = 2_000
+
+
+@dataclass
+class ChaseOutcome:
+    """Result of running the chase on a graph."""
+
+    graph: Graph
+    fixpoint: bool
+    steps: int
+    merges: int
+    node_map: dict[Node, Node]
+
+    def resolve(self, node: Node) -> Node:
+        """Where a pre-chase node ended up (merges may have moved it)."""
+        while node in self.node_map and self.node_map[node] != node:
+            node = self.node_map[node]
+        return node
+
+
+def chase(
+    graph: Graph,
+    sigma: Iterable[PathConstraint],
+    max_steps: int = DEFAULT_CHASE_STEPS,
+) -> ChaseOutcome:
+    """Chase a copy of ``graph`` with Sigma until fixpoint or budget.
+
+    Returns the chased graph; ``fixpoint`` is True when no constraint
+    has a remaining violation (so the result models Sigma).
+    """
+    sigma = list(sigma)
+    work = graph.copy()
+    node_map: dict[Node, Node] = {}
+    steps = 0
+    merges = 0
+
+    def resolve(node: Node) -> Node:
+        while node in node_map and node_map[node] != node:
+            node = node_map[node]
+        return node
+
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for constraint in sigma:
+            if steps >= max_steps:
+                break
+            bad = violations(work, constraint, limit=1)
+            while bad and steps < max_steps:
+                x, y = bad[0]
+                steps += 1
+                progress = True
+                if constraint.rhs.is_empty():
+                    # Equality-generating: the conclusion "epsilon(x,y)"
+                    # (forward) or "epsilon(y,x)" (backward) forces x=y.
+                    keep, remove = (x, y) if y != work.root else (y, x)
+                    if keep != remove:
+                        work.merge_nodes(keep, remove)
+                        node_map[remove] = keep
+                        merges += 1
+                elif constraint.is_forward():
+                    work.add_path(x, constraint.rhs, dst=y)
+                else:
+                    work.add_path(y, constraint.rhs, dst=x)
+                bad = violations(work, constraint, limit=1)
+
+    fixpoint = all(not violations(work, c, limit=1) for c in sigma)
+    return ChaseOutcome(
+        graph=work,
+        fixpoint=fixpoint,
+        steps=steps,
+        merges=merges,
+        node_map=node_map,
+    )
+
+
+def tableau_for(phi: PathConstraint) -> tuple[Graph, Node, Node]:
+    """The canonical tableau of ``not phi``.
+
+    A fresh path spelling ``pf(phi)`` from the root to ``x`` and a
+    fresh path spelling ``phi.lhs`` from ``x`` to ``y``; the constraint
+    fails on (x, y) unless the conclusion is forced.
+    """
+    graph = Graph(root="r")
+    x = graph.add_path("r", phi.prefix) if not phi.prefix.is_empty() else "r"
+    if phi.lhs.is_empty():
+        y = x
+    else:
+        y = graph.add_path(x, phi.lhs)
+    return graph, x, y
+
+
+def chase_implication(
+    sigma: Iterable[PathConstraint],
+    phi: PathConstraint,
+    max_steps: int = DEFAULT_CHASE_STEPS,
+) -> ImplicationResult:
+    """Sound three-valued implication test for untyped P_c.
+
+    >>> from repro.constraints import parse_constraints, parse_constraint
+    >>> sigma = parse_constraints("a => b")
+    >>> chase_implication(sigma, parse_constraint("a.c => b.c")).answer
+    <Trilean.TRUE: 'true'>
+    >>> result = chase_implication(sigma, parse_constraint("b => a"))
+    >>> result.answer
+    <Trilean.FALSE: 'false'>
+    >>> result.countermodel is not None
+    True
+    """
+    sigma = list(sigma)
+    tableau, x, y = tableau_for(phi)
+    outcome = chase(tableau, sigma, max_steps=max_steps)
+    x = outcome.resolve(x)
+    y = outcome.resolve(y)
+    chased = outcome.graph
+
+    if phi.is_forward():
+        conclusion_holds = chased.satisfies_path(phi.rhs, x, y)
+    else:
+        conclusion_holds = chased.satisfies_path(phi.rhs, y, x)
+
+    if conclusion_holds:
+        return ImplicationResult(
+            answer=Trilean.TRUE,
+            method="chase",
+            decidable=False,
+            certificate=outcome,
+            notes=(
+                "conclusion forced on the canonical tableau; holds for "
+                "implication and finite implication",
+            ),
+        )
+    if outcome.fixpoint:
+        return ImplicationResult(
+            answer=Trilean.FALSE,
+            method="chase",
+            decidable=False,
+            countermodel=chased,
+            certificate=outcome,
+            notes=(
+                "chase fixpoint is a finite model of Sigma violating phi",
+            ),
+        )
+    return ImplicationResult(
+        answer=Trilean.UNKNOWN,
+        method="chase",
+        decidable=False,
+        certificate=outcome,
+        notes=(f"chase budget of {max_steps} steps exhausted",),
+    )

@@ -1,0 +1,239 @@
+"""Routing implication problems to the right procedure — Table 1 as code.
+
+:func:`classify` finds the most specific fragment an instance lives in
+(P_w subset of P_w(K) subset of P_c; local-extent instances are
+recognized by Definitions 2.3/2.4).  :func:`table1_cell` reports the
+paper's decidability/complexity verdict for a (fragment, context)
+pair, and :func:`solve` runs the matching procedure:
+
+* decidable cells run the complete decision procedure;
+* undecidable cells raise :class:`UndecidableProblemError` unless the
+  caller opts into semi-decision, in which case a sound chase /
+  counter-model pipeline runs with explicit budgets.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.constraints.ast import PathConstraint
+from repro.constraints.classes import (
+    infer_bounds,
+    is_in_pw_k,
+    is_prefix_bounded_set,
+)
+from repro.errors import UndecidableProblemError
+from repro.reasoning.chase import DEFAULT_CHASE_STEPS, chase_implication
+from repro.reasoning.local_extent import implies_local_extent
+from repro.reasoning.models import find_countermodel, find_typed_countermodel
+from repro.reasoning.result import ImplicationResult
+from repro.reasoning.typed_m import implies_typed_m
+from repro.reasoning.word import implies_word
+from repro.truth import Trilean
+from repro.types.typesys import Schema
+
+
+class Context(enum.Enum):
+    """The data model the implication is interpreted over."""
+
+    SEMISTRUCTURED = "semistructured"
+    M = "M"
+    M_PLUS = "M+"
+    M_PLUS_FINITE = "M+f"
+
+
+class ProblemClass(enum.Enum):
+    """The constraint fragment an instance belongs to."""
+
+    WORD = "P_w"
+    PW_K = "P_w(K)"
+    LOCAL_EXTENT = "local extent"
+    GENERAL = "P_c"
+
+
+#: (problem class, context) -> (decidable, complexity or None).
+#: The P_w row is the [AV97] substrate; the other three rows are the
+#: paper's Table 1.
+TABLE1: dict[tuple[ProblemClass, Context], tuple[bool, str | None]] = {
+    (ProblemClass.WORD, Context.SEMISTRUCTURED): (True, "PTIME"),
+    (ProblemClass.PW_K, Context.SEMISTRUCTURED): (False, None),
+    (ProblemClass.LOCAL_EXTENT, Context.SEMISTRUCTURED): (True, "PTIME"),
+    (ProblemClass.GENERAL, Context.SEMISTRUCTURED): (False, None),
+    **{
+        (klass, Context.M): (True, "cubic")
+        for klass in ProblemClass
+    },
+    # Over M+ and M+f the paper proves P_w(rho), local extent and P_c
+    # undecidable (Theorems 5.2, 6.1, 6.2).  It leaves pure P_w over
+    # M+ unresolved; we conservatively route it to semi-decision too.
+    **{
+        (klass, ctx): (False, None)
+        for klass in ProblemClass
+        for ctx in (Context.M_PLUS, Context.M_PLUS_FINITE)
+    },
+}
+
+
+def table1_cell(
+    problem_class: ProblemClass, context: Context
+) -> tuple[bool, str | None]:
+    """The paper's verdict for a Table 1 cell: (decidable, complexity)."""
+    return TABLE1[(problem_class, context)]
+
+
+@dataclass
+class ImplicationProblem:
+    """A fully specified implication instance.
+
+    ``schema`` is required for the typed contexts and ignored for the
+    semistructured one.
+    """
+
+    sigma: Sequence[PathConstraint]
+    phi: PathConstraint
+    context: Context = Context.SEMISTRUCTURED
+    schema: Schema | None = None
+
+    def __post_init__(self) -> None:
+        self.sigma = tuple(self.sigma)
+        if isinstance(self.context, str):
+            self.context = Context(self.context)
+        if self.context is not Context.SEMISTRUCTURED and self.schema is None:
+            raise ValueError(f"context {self.context.value} needs a schema")
+
+
+def classify(
+    sigma: Sequence[PathConstraint], phi: PathConstraint
+) -> ProblemClass:
+    """The most specific fragment containing Sigma and phi."""
+    everything = list(sigma) + [phi]
+    if all(psi.is_word_constraint() for psi in everything):
+        return ProblemClass.WORD
+
+    # P_w(K): all constraints word or guarded by one shared label K.
+    guards = {
+        psi.prefix.first()
+        for psi in everything
+        if not psi.prefix.is_empty()
+    }
+    if len(guards) == 1:
+        guard = next(iter(guards))
+        if all(is_in_pw_k(psi, guard) for psi in everything):
+            return ProblemClass.PW_K
+
+    # Local extent: the query is bounded and the whole set is
+    # prefix-bounded by the query's (rho, K).
+    try:
+        rho, guard = infer_bounds(phi)
+    except ValueError:
+        return ProblemClass.GENERAL
+    if is_prefix_bounded_set(everything, rho, guard):
+        return ProblemClass.LOCAL_EXTENT
+    return ProblemClass.GENERAL
+
+
+def solve(
+    problem: ImplicationProblem,
+    allow_semidecision: bool = True,
+    chase_steps: int = DEFAULT_CHASE_STEPS,
+    countermodel_nodes: int = 3,
+    typed_search_limit: int = 2_000,
+    with_proof: bool = False,
+) -> ImplicationResult:
+    """Decide or semi-decide an implication problem.
+
+    For decidable (fragment, context) cells the answer is definite.
+    For undecidable cells, with ``allow_semidecision`` the pipeline is
+    chase (sound both ways, untyped) then bounded counter-model search;
+    in typed contexts an untyped chase TRUE transfers (``U(Delta)`` is
+    a subclass of all structures) while refutation uses typed
+    counter-models only.  Without ``allow_semidecision`` an
+    :class:`UndecidableProblemError` is raised.
+    """
+    problem_class = classify(problem.sigma, problem.phi)
+    decidable, complexity = table1_cell(problem_class, problem.context)
+
+    if problem.context is Context.M:
+        assert problem.schema is not None
+        result = implies_typed_m(
+            problem.schema, problem.sigma, problem.phi, with_proof=with_proof
+        )
+        return result
+
+    if problem.context is Context.SEMISTRUCTURED and decidable:
+        if problem_class is ProblemClass.WORD:
+            return implies_word(problem.sigma, problem.phi, with_proof=with_proof)
+        return implies_local_extent(list(problem.sigma), problem.phi)
+
+    # Undecidable cell.
+    if not allow_semidecision:
+        raise UndecidableProblemError(
+            f"the (finite) implication problem for {problem_class.value} in "
+            f"the {problem.context.value} context is undecidable "
+            "(Table 1); pass allow_semidecision=True for a sound "
+            "three-valued attempt"
+        )
+
+    notes = [
+        f"{problem_class.value} over {problem.context.value}: undecidable "
+        "problem class; semi-decision with explicit budgets"
+    ]
+
+    chased = chase_implication(problem.sigma, problem.phi, max_steps=chase_steps)
+    if problem.context is Context.SEMISTRUCTURED:
+        if chased.answer.is_definite:
+            chased.notes = tuple(notes) + chased.notes
+            return chased
+        graph = find_countermodel(
+            list(problem.sigma), problem.phi, max_nodes=countermodel_nodes
+        )
+        if graph is not None:
+            return ImplicationResult(
+                answer=Trilean.FALSE,
+                method="bounded-countermodel",
+                decidable=False,
+                countermodel=graph,
+                notes=tuple(notes),
+            )
+        return ImplicationResult(
+            answer=Trilean.UNKNOWN,
+            method="chase+bounded-countermodel",
+            decidable=False,
+            notes=tuple(notes) + chased.notes,
+        )
+
+    # Typed undecidable contexts (M+, M+f).
+    assert problem.schema is not None
+    if chased.answer is Trilean.TRUE:
+        # Untyped implication transfers to every subclass of structures.
+        return ImplicationResult(
+            answer=Trilean.TRUE,
+            method="chase(untyped, transfers)",
+            decidable=False,
+            certificate=chased.certificate,
+            notes=tuple(notes),
+        )
+    hit = find_typed_countermodel(
+        problem.schema,
+        problem.sigma,
+        problem.phi,
+        limit=typed_search_limit,
+    )
+    if hit is not None:
+        instance, graph = hit
+        return ImplicationResult(
+            answer=Trilean.FALSE,
+            method="typed-instance-countermodel",
+            decidable=False,
+            countermodel=graph,
+            certificate=instance,
+            notes=tuple(notes),
+        )
+    return ImplicationResult(
+        answer=Trilean.UNKNOWN,
+        method="chase+typed-countermodel",
+        decidable=False,
+        notes=tuple(notes),
+    )

@@ -1,0 +1,133 @@
+"""Bounded counter-model search.
+
+Complements the chase on the refutation side of undecidable problems:
+
+* :func:`find_countermodel` — exhaustive search over all rooted graphs
+  with at most ``max_nodes`` nodes (only feasible for tiny bounds; the
+  property-based tests use it as an independent oracle);
+* :func:`random_countermodel` — randomized search, useful as a cheap
+  first pass on larger candidate sizes;
+* :func:`find_typed_countermodel` — search over ``U_f(Delta)`` by
+  enumerating small typed *instances* and abstracting them (Lemma 3.1),
+  the only sound refutation route in the typed M+ context where
+  untyped counter-models prove nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterable, Sequence
+
+from repro.checking.engine import satisfies_all
+from repro.checking.satisfaction import violations
+from repro.constraints.ast import PathConstraint
+from repro.graph.structure import Graph
+from repro.types.instances import Instance, enumerate_instances
+from repro.types.typesys import Schema
+
+
+def _is_countermodel(
+    graph: Graph, sigma: Sequence[PathConstraint], phi: PathConstraint
+) -> bool:
+    if violations(graph, phi, limit=1):
+        return satisfies_all(graph, sigma)
+    return False
+
+
+def all_graphs(
+    node_count: int, labels: Sequence[str]
+) -> Iterable[Graph]:
+    """Every rooted graph on nodes ``0..node_count-1`` (root 0).
+
+    There are ``2 ** (len(labels) * node_count**2)`` of them; callers
+    keep ``node_count <= 3`` and few labels.
+    """
+    slots = [
+        (src, label, dst)
+        for src in range(node_count)
+        for label in labels
+        for dst in range(node_count)
+    ]
+    for bits in itertools.product((False, True), repeat=len(slots)):
+        graph = Graph(root=0, nodes=range(node_count))
+        for chosen, (src, label, dst) in zip(bits, slots):
+            if chosen:
+                graph.add_edge(src, label, dst)
+        yield graph
+
+
+def find_countermodel(
+    sigma: Sequence[PathConstraint],
+    phi: PathConstraint,
+    labels: Sequence[str] | None = None,
+    max_nodes: int = 3,
+) -> Graph | None:
+    """Exhaustive search for a finite G with ``G |= Sigma`` and
+    ``G |/= phi``.
+
+    A hit refutes finite implication (and implication).  Exhaustion up
+    to the bound proves nothing — this is an oracle for tests, not a
+    decider.
+    """
+    sigma = list(sigma)
+    if labels is None:
+        alphabet: set[str] = set(phi.alphabet())
+        for psi in sigma:
+            alphabet |= psi.alphabet()
+        labels = sorted(alphabet)
+    for node_count in range(1, max_nodes + 1):
+        for graph in all_graphs(node_count, labels):
+            if _is_countermodel(graph, sigma, phi):
+                return graph
+    return None
+
+
+def random_countermodel(
+    sigma: Sequence[PathConstraint],
+    phi: PathConstraint,
+    labels: Sequence[str],
+    node_count: int,
+    tries: int = 200,
+    edge_probability: float = 0.3,
+    seed: int = 0,
+) -> Graph | None:
+    """Randomized counter-model search at a fixed size."""
+    sigma = list(sigma)
+    rng = random.Random(seed)
+    labels = list(labels)
+    for _ in range(tries):
+        graph = Graph(root=0, nodes=range(node_count))
+        for src in range(node_count):
+            for label in labels:
+                for dst in range(node_count):
+                    if rng.random() < edge_probability:
+                        graph.add_edge(src, label, dst)
+        if _is_countermodel(graph, sigma, phi):
+            return graph
+    return None
+
+
+def find_typed_countermodel(
+    schema: Schema,
+    sigma: Sequence[PathConstraint],
+    phi: PathConstraint,
+    max_oids: int = 2,
+    max_set_size: int = 2,
+    limit: int = 5_000,
+) -> tuple[Instance, Graph] | None:
+    """Search ``U_f(Delta)`` for a counter-model, via small instances.
+
+    Every yield of :func:`enumerate_instances` abstracts (Lemma 3.1) to
+    a graph satisfying ``Phi(Delta)``, so a hit refutes ``Sigma
+    |=_(f,Delta) phi`` — the sound refutation route for the
+    undecidable typed cells of Table 1.
+    """
+    sigma = list(sigma)
+    for instance in enumerate_instances(
+        schema, max_oids=max_oids, max_set_size=max_set_size, limit=limit
+    ):
+        graph = instance.to_graph()
+        if _is_countermodel(graph, sigma, phi):
+            return instance, graph
+    return None

@@ -1,0 +1,64 @@
+"""The shared result type for implication queries.
+
+Every decider and semi-decider returns an :class:`ImplicationResult`:
+a three-valued answer plus the method that produced it and whatever
+certificate is available (an I_r proof, a rewrite derivation, or a
+counter-model graph).  Decision procedures for decidable problems
+always return a definite answer; semi-deciders may return UNKNOWN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.truth import Trilean
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.structure import Graph
+    from repro.reasoning.axioms import IrProof
+
+
+@dataclass
+class ImplicationResult:
+    """Answer to "does Sigma (finitely) imply phi?" in some context.
+
+    ``answer`` uses :class:`Trilean`; for the decidable problems of
+    this library implication and finite implication coincide
+    (P_w and local extent untyped, everything over M — Theorems 4.2,
+    4.9, 5.1), so one answer covers both.  Semi-deciders document any
+    asymmetry in ``notes``.
+    """
+
+    answer: Trilean
+    method: str
+    decidable: bool
+    complexity: str | None = None
+    proof: "IrProof | None" = None
+    countermodel: "Graph | None" = None
+    certificate: Any = None
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def implied(self) -> bool:
+        """Definite yes/no; raises on UNKNOWN."""
+        return self.answer.to_bool()
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise TypeError(
+            "an ImplicationResult is not a boolean; use .implied or .answer"
+        )
+
+    def describe(self) -> str:
+        parts = [f"answer={self.answer.value}", f"method={self.method}"]
+        if self.complexity:
+            parts.append(f"complexity={self.complexity}")
+        if self.proof is not None:
+            parts.append(f"proof={len(self.proof.lines)} lines")
+        if self.countermodel is not None:
+            parts.append(
+                f"countermodel={self.countermodel.node_count()} nodes"
+            )
+        for note in self.notes:
+            parts.append(f"note={note}")
+        return "; ".join(parts)

@@ -1,0 +1,227 @@
+"""Untyped word-constraint implication — decidable in PTIME.
+
+[AV97] showed the implication and finite implication problems for P_w
+coincide and are decidable in PTIME, with {reflexivity, transitivity,
+right-congruence} as a complete axiomatization (restated in
+Section 4.2 of the paper).  Derivability under those three rules is
+exactly prefix-rewriting reachability, so the decider asks the
+``post*`` saturation engine whether ``phi.rhs`` is reachable from
+``phi.lhs`` under the rules ``{lhs_i -> rhs_i}``.
+
+**Empty conclusions are a genuinely different fragment.**  A
+constraint ``u => ()`` is equality-generating: every node reached by
+``u`` *is* the root.  Such constraints break the three-rule
+completeness — ``{a => ()}`` semantically implies ``a => a.a``, which
+no prefix-rewriting derivation produces — because node merges create
+root-loop facts that propagate through rewriting-congruent words.
+The paper's own instances never use empty conclusions (Definition 2.3
+even forbids empty hypotheses in bounded constraints), so this decider
+guarantees completeness exactly on the empty-conclusion-free fragment
+and handles the rest with a sound layered strategy:
+
+1. *trigger closure* — if ``post*(alpha)`` realizes a word extending
+   an equality-generating ``u``, the node at its end is the root, so
+   the root carries a ``u``-loop and ``() => u`` becomes sound in the
+   context of the query; iterate to a fixpoint (polynomial);
+2. *chase fallback* — when the closure does not already answer True,
+   chase the query tableau (sound in both directions, may diverge);
+3. *honest failure* — if the chase is also indefinite, raise
+   :class:`repro.errors.IncompleteFragmentError` rather than guess.
+
+Positive answers within the three-rule fragment come with an I_r
+proof extracted from an explicit rewrite derivation and re-verified by
+the independent proof checker; closure- or chase-dependent answers
+have no three-rule proof and return ``proof=None``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.constraints.ast import PathConstraint, word
+from repro.paths import Path
+from repro.reasoning.axioms import IrProof, ProofBuilder, check_proof
+from repro.reasoning.result import ImplicationResult
+from repro.rewriting.prefix import PrefixRewriteSystem, RewriteStep
+from repro.truth import Trilean
+
+
+def _require_word(phi: PathConstraint) -> PathConstraint:
+    if not phi.is_word_constraint():
+        raise ValueError(
+            f"{phi} is not a word constraint; the untyped PTIME decider "
+            "covers only P_w (use the dispatcher for larger fragments)"
+        )
+    return phi
+
+
+class WordImplicationDecider:
+    """Decides ``Sigma |= phi`` (== ``Sigma |=_f phi``) for P_w.
+
+    >>> from repro.constraints import parse_constraints, parse_constraint
+    >>> sigma = parse_constraints('''
+    ...     book.author => person
+    ...     person.wrote => book
+    ... ''')
+    >>> decider = WordImplicationDecider(sigma)
+    >>> decider.implies(parse_constraint("book.author.wrote => book"))
+    True
+    >>> decider.implies(parse_constraint("book.author.wrote => person"))
+    False
+    """
+
+    def __init__(self, sigma: Iterable[PathConstraint]) -> None:
+        self._sigma = tuple(_require_word(phi) for phi in sigma)
+        self._rules = [(phi.lhs, phi.rhs) for phi in self._sigma]
+        self._system = PrefixRewriteSystem(self._rules, symmetric=False)
+        # Left sides of equality-generating constraints (empty rhs).
+        self._egd_lhs = [
+            lhs for lhs, rhs in self._rules
+            if rhs.is_empty() and not lhs.is_empty()
+        ]
+        self._closure_cache: dict[Path, PrefixRewriteSystem] = {}
+
+    @property
+    def sigma(self) -> tuple[PathConstraint, ...]:
+        return self._sigma
+
+    @property
+    def system(self) -> PrefixRewriteSystem:
+        """The base rewriting system (three-rule derivability only)."""
+        return self._system
+
+    def closure_system(self, alpha: Path | str) -> PrefixRewriteSystem:
+        """The query-contextual system: base rules plus the root-loop
+        rules ``() => u`` for every equality-generating constraint
+        ``u => ()`` the hypothesis ``alpha`` triggers (see the module
+        docstring)."""
+        alpha = Path.coerce(alpha)
+        cached = self._closure_cache.get(alpha)
+        if cached is not None:
+            return cached
+        triggered: set[Path] = set()
+        system = self._system
+        while self._egd_lhs:
+            automaton = system.post_star_automaton(alpha)
+            fresh = [
+                u
+                for u in self._egd_lhs
+                if u not in triggered
+                and automaton.accepts_extension_of(u.labels)
+            ]
+            if not fresh:
+                break
+            triggered.update(fresh)
+            system = PrefixRewriteSystem(
+                self._rules + [(Path.empty(), u) for u in sorted(triggered)]
+            )
+        self._closure_cache[alpha] = system
+        return system
+
+    def implies(self, phi: PathConstraint) -> bool:
+        """The decision procedure.
+
+        Polynomial-time and complete on the empty-conclusion-free
+        fragment; see the module docstring for the layered strategy
+        (and the :class:`~repro.errors.IncompleteFragmentError` escape
+        hatch) outside it.
+        """
+        _require_word(phi)
+        if not self._egd_lhs:
+            return self._system.derives(phi.lhs, phi.rhs)
+        if self.closure_system(phi.lhs).derives(phi.lhs, phi.rhs):
+            return True  # sound closure
+        from repro.errors import IncompleteFragmentError
+        from repro.reasoning.chase import chase_implication
+
+        chased = chase_implication(list(self._sigma), phi, max_steps=4_000)
+        if chased.answer.is_definite:
+            return chased.answer.to_bool()
+        raise IncompleteFragmentError(
+            "premises contain equality-generating word constraints "
+            "(empty conclusion) and neither the sound closure nor the "
+            f"chase settled {phi}; this lies outside the decider's "
+            "guaranteed-complete fragment"
+        )
+
+    def derivation(self, phi: PathConstraint) -> list[RewriteStep] | None:
+        """An explicit *three-rule* rewrite derivation, when one exists.
+
+        Closure-dependent implications (through equality-generating
+        constraints) have no such derivation and return None even
+        though :meth:`implies` answers True.
+        """
+        _require_word(phi)
+        return self._system.find_derivation(phi.lhs, phi.rhs)
+
+    def prove(self, phi: PathConstraint) -> IrProof | None:
+        """An I_r proof using only the three untyped-sound word rules.
+
+        Returns None when phi is not implied, or when the certificate
+        search (not the decision!) exhausts its budget.
+        """
+        steps = self.derivation(phi)
+        if steps is None:
+            return None
+        proof = build_word_proof(self._sigma, phi, steps)
+        check_proof(proof)  # never hand out an unverified proof
+        return proof
+
+    def consequences(
+        self, source: Path | str, max_length: int, max_count: int | None = None
+    ) -> list[Path]:
+        """All beta with Sigma |= (source => beta), up to a length bound."""
+        return list(
+            self.closure_system(source).derivable_words(
+                source, max_length, max_count
+            )
+        )
+
+
+def build_word_proof(
+    sigma: tuple[PathConstraint, ...],
+    phi: PathConstraint,
+    steps: list[RewriteStep],
+) -> IrProof:
+    """Turn a rewrite derivation into an I_r proof.
+
+    Each rewrite step ``u.z => v.z`` (rule ``u => v``) becomes axiom +
+    right-congruence; the chain is folded with transitivity starting
+    from reflexivity.  Inverted steps additionally use commutativity,
+    so proofs from symmetric systems (the typed decider) type-check
+    too.
+    """
+    builder = ProofBuilder(sigma)
+    current = builder.reflexivity(phi.lhs)
+    for step in steps:
+        axiom_line = builder.axiom(sigma[step.rule_index])
+        if step.inverted:
+            axiom_line = builder.commutativity(axiom_line)
+        congruent = builder.right_congruence(axiom_line, step.suffix)
+        current = builder.transitivity(current, congruent)
+    # The accumulated constraint is phi itself (reflexivity base makes
+    # the zero-step case come out as alpha => alpha).
+    if builder.line_constraint(current) != phi:
+        raise AssertionError(
+            "derivation does not end at the queried constraint"
+        )
+    return builder.build()
+
+
+def implies_word(
+    sigma: Iterable[PathConstraint],
+    phi: PathConstraint,
+    with_proof: bool = False,
+) -> ImplicationResult:
+    """One-shot convenience wrapper around the decider."""
+    decider = WordImplicationDecider(sigma)
+    answer = decider.implies(phi)
+    proof = decider.prove(phi) if (with_proof and answer) else None
+    return ImplicationResult(
+        answer=Trilean.of(answer),
+        method="word-prefix-rewriting",
+        decidable=True,
+        complexity="PTIME",
+        proof=proof,
+        notes=("implication and finite implication coincide for P_w",),
+    )

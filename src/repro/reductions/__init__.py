@@ -1,0 +1,34 @@
+"""Executable reductions behind the paper's undecidability theorems.
+
+Undecidability cannot be "run", but its *reductions* can, and the
+paper's counter-model gadgets are concrete finite structures this
+package constructs and verifies:
+
+* :mod:`repro.reductions.monoid_to_pwk` — Theorem 4.3: the word
+  problem for (finite) monoids encoded as P_w(K) implication on
+  untyped data, with the Figure 2 counter-model builder (Lemma 4.5);
+* :mod:`repro.reductions.local_extent_figure` — the Figure 3
+  H-structure from the decidability proof of Theorem 5.1 (Lemma 5.3);
+* :mod:`repro.reductions.monoid_to_mplus` — Theorem 5.2: the word
+  problem encoded as local-extent implication over the M+ schema
+  Delta_1, with the Figure 4 typed counter-model builder (Lemma 5.4).
+"""
+
+from repro.reductions.monoid_to_pwk import PwkEncoding, encode_pwk, figure2_structure
+from repro.reductions.local_extent_figure import attach_prefix, figure3_structure
+from repro.reductions.monoid_to_mplus import (
+    MplusEncoding,
+    encode_mplus,
+    figure4_structure,
+)
+
+__all__ = [
+    "PwkEncoding",
+    "encode_pwk",
+    "figure2_structure",
+    "figure3_structure",
+    "attach_prefix",
+    "MplusEncoding",
+    "encode_mplus",
+    "figure4_structure",
+]

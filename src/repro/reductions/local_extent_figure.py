@@ -1,0 +1,65 @@
+"""The structures of Lemma 5.3's proof (Figure 3 and the prefix wrap).
+
+Two constructions from the decidability proof of Theorem 5.1:
+
+* :func:`attach_prefix` — the first reduction step's model surgery:
+  given a model ``G_1`` of the rho-stripped constraints, build ``G``
+  by adding a fresh root and a fresh path spelling ``rho`` down to
+  ``G_1``'s root; then ``G`` models the original constraints.
+* :func:`figure3_structure` — the second step's gadget (Figure 3):
+  from a finite model ``G`` of ``Sigma^2_K ^ not phi^2``, build ``H``
+  with a new root ``r_H``, a K-self-loop on ``r_H`` and a K-edge to
+  ``G``'s root.  ``H`` then models ``Sigma^1_K u Sigma^1_r ^ not
+  phi^1`` — the step that shows the unbounded rest Sigma^1_r cannot
+  interact (every node K-reachable from ``r_H`` is ``r_H`` itself or
+  ``r_G``, and the ``K``-guard protects the bounded constraints).
+"""
+
+from __future__ import annotations
+
+from repro.graph.structure import Graph, Node
+from repro.paths import Path
+
+
+def _import_into(target: Graph, source: Graph, tag: str) -> dict[Node, Node]:
+    """Copy ``source``'s nodes/edges into ``target`` under fresh
+    ``(tag, node)`` identifiers; returns the node mapping."""
+    mapping: dict[Node, Node] = {}
+    for node in source.nodes:
+        mapping[node] = target.add_node((tag, node))
+    for src, label, dst in source.edges():
+        target.add_edge(mapping[src], label, mapping[dst])
+    for node, sort in source.sorts.items():
+        target.set_sort(mapping[node], sort)
+    return mapping
+
+
+def attach_prefix(graph: Graph, rho: Path | str) -> Graph:
+    """A new structure with a fresh root and a fresh ``rho``-path down
+    to (a copy of) ``graph``'s root.
+
+    For the empty path this is just a tagged copy.
+    """
+    rho = Path.coerce(rho)
+    out = Graph(root="r")
+    mapping = _import_into(out, graph, "g")
+    old_root = mapping[graph.root]
+    if rho.is_empty():
+        # Splice: the new root *is* the old root.
+        out.merge_nodes("r", old_root)
+    else:
+        out.add_path("r", rho, dst=old_root)
+    return out
+
+
+def figure3_structure(graph: Graph, guard: str = "K") -> Graph:
+    """The Figure 3 H-structure over a model ``G``.
+
+    ``|H| = |G| u {r_H}`` and ``E_H = E_G u {K(r_H, r_H),
+    K(r_H, r_G)}``.
+    """
+    out = Graph(root="rH")
+    mapping = _import_into(out, graph, "g")
+    out.add_edge("rH", guard, "rH")
+    out.add_edge("rH", guard, mapping[graph.root])
+    return out

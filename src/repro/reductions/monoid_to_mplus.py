@@ -1,0 +1,137 @@
+"""Theorem 5.2: the word problem reduced to *typed* local-extent
+implication over the M+ schema Delta_1 (Section 5.2).
+
+For the alphabet ``Gamma_0 = {l_1 .. l_m}``, the gadget schema is::
+
+    C   -> [l_1: C, ..., l_m: C]
+    C_s -> {C}
+    C_l -> [a: C, b: C_s, K: C_l]
+    DBtype = [l: C_l]
+
+and the constraint set Sigma (prefix bounded by ``l`` and ``K``)::
+
+    (1) l.K :: a               => b.member          (a's target is in the set)
+    (2) l.K :: b.member.l_j    => b.member          (the set is closed)
+    (3) l.b.member :: lambda_i => rho_i             (equations, inside the set)
+    (4) l   :: ()              => K                 (forces o_K = o_l)
+
+A test equation becomes ``phi = l.K :: a.alpha => a.beta``.  Over
+untyped data the bounded part {(1), (2), phi} ignores (3) and (4)
+entirely (Lemma 5.3); over Delta_1 the type constraint forces the
+Figure 4 shape, (3) and (4) *do* interact, and the implication holds
+iff ``Gamma |= (alpha, beta)`` — hence undecidability (Lemma 5.4).
+
+:func:`figure4_structure` builds the typed counter-model from a finite
+monoid witness, with sorts assigned, so the type checker can confirm
+membership in ``U_f(Delta_1)`` mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.ast import PathConstraint, forward
+from repro.graph.structure import Graph
+from repro.monoids.finite import Homomorphism
+from repro.monoids.presentation import MonoidPresentation
+from repro.paths import Path
+from repro.types.examples import delta1_schema
+from repro.types.typesys import MEMBERSHIP_LABEL, Schema
+
+
+@dataclass(frozen=True)
+class MplusEncoding:
+    """The typed constraint-side image of a monoid presentation."""
+
+    presentation: MonoidPresentation
+    schema: Schema
+    sigma: tuple[PathConstraint, ...]
+    rho: Path
+    guard: str
+
+    def test_constraint(self, alpha: Path | str, beta: Path | str) -> PathConstraint:
+        """``phi_(alpha,beta) = l.K :: a.alpha => a.beta``."""
+        alpha = Path.coerce(alpha)
+        beta = Path.coerce(beta)
+        return forward(
+            self.rho.append(self.guard),
+            Path.single("a").concat(alpha),
+            Path.single("a").concat(beta),
+        )
+
+    def verify_countermodel(
+        self, graph: Graph, alpha: Path | str, beta: Path | str
+    ) -> bool:
+        """Is ``graph`` a member of U_f(Delta_1) modelling Sigma and
+        violating the test constraint?"""
+        from repro.checking.engine import satisfies_all
+        from repro.checking.satisfaction import violations
+        from repro.types.typecheck import check_type_constraint
+
+        if not check_type_constraint(self.schema, graph).ok:
+            return False
+        if not satisfies_all(graph, self.sigma):
+            return False
+        return bool(
+            violations(graph, self.test_constraint(alpha, beta), limit=1)
+        )
+
+
+def encode_mplus(presentation: MonoidPresentation) -> MplusEncoding:
+    """Build the Section 5.2 encoding of a presentation."""
+    schema = delta1_schema(presentation.alphabet)
+    el = Path.single("l")
+    lk = el.append("K")
+    b_member = Path.parse(f"b.{MEMBERSHIP_LABEL}")
+    sigma: list[PathConstraint] = [
+        forward(lk, Path.single("a"), b_member),
+    ]
+    for letter in presentation.alphabet:
+        sigma.append(forward(lk, b_member.append(letter), b_member))
+    for lam, rho in presentation.equations:
+        sigma.append(forward(el.concat(b_member), lam, rho))
+    sigma.append(forward(el, Path.empty(), Path.single("K")))
+    return MplusEncoding(
+        presentation=presentation,
+        schema=schema,
+        sigma=tuple(sigma),
+        rho=el,
+        guard="K",
+    )
+
+
+def figure4_structure(
+    presentation: MonoidPresentation, hom: Homomorphism
+) -> Graph:
+    """The Figure 4 typed counter-model.
+
+    The root (DBtype) points via ``l`` to the C_l node ``o_l``, which
+    carries the K-self-loop forced by constraint (4), an ``a``-edge to
+    the identity's C node, and a ``b``-edge to the C_s node whose
+    members are all image-submonoid elements; C nodes form the Cayley
+    graph of the image under right multiplication.
+    """
+    if not hom.respects(presentation):
+        raise ValueError(
+            "the homomorphism does not respect the presentation's equations"
+        )
+    monoid = hom.monoid
+    image = sorted(hom.image_submonoid())
+
+    graph = Graph(root="r")
+    graph.set_sort("r", "DBtype")
+    graph.add_edge("r", "l", "ol")
+    graph.set_sort("ol", "Cl")
+    graph.add_edge("ol", "K", "ol")
+    graph.add_edge("ol", "a", ("m", monoid.identity))
+    graph.add_edge("ol", "b", "os")
+    graph.set_sort("os", "Cs")
+    for element in image:
+        node = ("m", element)
+        graph.add_node(node, sort="C")
+        graph.add_edge("os", MEMBERSHIP_LABEL, node)
+    for element in image:
+        for letter in presentation.alphabet:
+            target = monoid.multiply(element, hom.images[letter])
+            graph.add_edge(("m", element), letter, ("m", target))
+    return graph

@@ -1,0 +1,121 @@
+"""Theorem 4.3: the word problem reduced to P_w(K) implication.
+
+Given an alphabet ``Gamma_0 = {l_1 .. l_m}`` and equations
+``Gamma = {(lambda_i, rho_i)}``, the encoding over the signature
+``(r, Gamma_0 u {K})`` is::
+
+    ()        => K                      (the root is K-tagged)
+    K.l_j     => K              for every letter l_j
+    K :: lambda_i => rho_i      for every equation
+    K :: rho_i    => lambda_i
+
+and a test equation ``(alpha, beta)`` becomes the pair of word
+constraints ``alpha => beta`` and ``beta => alpha``.  Lemma 4.5:
+``Gamma (finitely) implies (alpha, beta)`` iff the encoding
+(finitely) implies both test constraints.
+
+The "if" direction's witness is the Figure 2 structure: from a finite
+monoid M and homomorphism h respecting Gamma with ``h(alpha) !=
+h(beta)``, take the image submonoid as nodes, K-edges from the root
+(the identity) to every node, and ``l_j``-edges following right
+multiplication.  :func:`figure2_structure` builds it;
+:meth:`PwkEncoding.verify_countermodel` checks it really models the
+encoding while violating a test constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.ast import PathConstraint, forward, word
+from repro.graph.structure import Graph
+from repro.monoids.finite import Homomorphism
+from repro.monoids.presentation import MonoidPresentation
+from repro.paths import Path
+
+
+@dataclass(frozen=True)
+class PwkEncoding:
+    """The constraint-side image of a monoid presentation."""
+
+    presentation: MonoidPresentation
+    guard: str
+    sigma: tuple[PathConstraint, ...]
+
+    def test_constraints(
+        self, alpha: Path | str, beta: Path | str
+    ) -> tuple[PathConstraint, PathConstraint]:
+        """The pair ``(alpha => beta, beta => alpha)`` for a test
+        equation."""
+        alpha = Path.coerce(alpha)
+        beta = Path.coerce(beta)
+        return (word(alpha, beta), word(beta, alpha))
+
+    def verify_countermodel(
+        self, graph: Graph, alpha: Path | str, beta: Path | str
+    ) -> bool:
+        """Does ``graph`` model Sigma while violating a test
+        constraint (i.e. witness non-implication)?"""
+        from repro.checking.engine import satisfies_all
+        from repro.checking.satisfaction import violations
+
+        if not satisfies_all(graph, self.sigma):
+            return False
+        phi_ab, phi_ba = self.test_constraints(alpha, beta)
+        return bool(
+            violations(graph, phi_ab, limit=1)
+            or violations(graph, phi_ba, limit=1)
+        )
+
+
+def encode_pwk(
+    presentation: MonoidPresentation, guard: str = "K"
+) -> PwkEncoding:
+    """Build the Theorem 4.3 encoding of a presentation.
+
+    The guard label must be outside the presentation's alphabet.
+    """
+    if guard in presentation.alphabet:
+        raise ValueError(
+            f"the guard {guard!r} must not occur in the alphabet"
+        )
+    guard_path = Path.single(guard)
+    sigma: list[PathConstraint] = [word(Path.empty(), guard_path)]
+    for letter in presentation.alphabet:
+        sigma.append(word(guard_path.append(letter), guard_path))
+    for lam, rho in presentation.equations:
+        sigma.append(forward(guard_path, lam, rho))
+        sigma.append(forward(guard_path, rho, lam))
+    return PwkEncoding(
+        presentation=presentation, guard=guard, sigma=tuple(sigma)
+    )
+
+
+def figure2_structure(
+    presentation: MonoidPresentation, hom: Homomorphism
+) -> Graph:
+    """The Figure 2 counter-model.
+
+    Nodes are the elements of ``h(Gamma_0*)`` (the image submonoid);
+    the root is the identity's node; every node receives a K-edge from
+    the root; each node ``m`` has an ``l_j``-edge to ``m . h(l_j)``.
+
+    The caller supplies a homomorphism *respecting* the presentation
+    (checked); the structure then models the encoding, and violates
+    the test pair for exactly the words the homomorphism separates.
+    """
+    if not hom.respects(presentation):
+        raise ValueError(
+            "the homomorphism does not respect the presentation's equations"
+        )
+    monoid = hom.monoid
+    image = sorted(hom.image_submonoid())
+    graph = Graph(root=("m", monoid.identity))
+    for element in image:
+        graph.add_node(("m", element))
+    for element in image:
+        graph.add_edge(graph.root, "K", ("m", element))
+        for letter in presentation.alphabet:
+            target = monoid.multiply(element, hom.images[letter])
+            graph.add_edge(("m", element), letter, ("m", target))
+    return graph

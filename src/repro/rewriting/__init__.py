@@ -1,0 +1,19 @@
+"""Prefix rewriting systems and their regularity-preserving closures.
+
+The complete inference rules for word-constraint implication
+(reflexivity, transitivity, right-congruence — Section 4.2, after
+[AV97]) say exactly that the derivable consequences of a word
+constraint set are the reflexive-transitive closure of *prefix
+rewriting*: the rule ``alpha_i -> beta_i`` rewrites a word
+``alpha_i . z`` to ``beta_i . z``.  The set of words reachable from a
+given word under prefix rewriting is a regular language computable in
+polynomial time by automaton saturation (Buchi; Caucal; the
+pushdown-systems ``post*`` construction).  This package implements
+that saturation, in both the directed form (untyped word implication)
+and the symmetric form (adding the commutativity rule, which is sound
+exactly over the typed model M).
+"""
+
+from repro.rewriting.prefix import PrefixRewriteSystem, RewriteStep
+
+__all__ = ["PrefixRewriteSystem", "RewriteStep"]

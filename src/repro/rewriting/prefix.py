@@ -1,0 +1,278 @@
+"""Prefix rewriting: ``post*`` saturation and derivation search.
+
+A *prefix rewriting system* is a finite set of rules ``u_i -> v_i``
+over words; a rule rewrites ``u_i . z`` to ``v_i . z`` (only at the
+front of the word).  Derivability under the word-constraint inference
+rules {reflexivity, transitivity, right-congruence} of Section 4.2 is
+exactly reachability under prefix rewriting, and adding the
+commutativity rule (sound over the typed model M) makes the system
+symmetric.
+
+``post*(w)`` — the set of words reachable from ``w`` — is a regular
+language.  We compute an NFA for it by the classic saturation
+construction: starting from the one-word automaton for ``w``, with a
+pre-built spine for each rule's right-hand side, repeatedly add, for
+every rule ``u -> v`` and every state ``q`` reachable from the initial
+state by reading ``u``, the final edge that makes ``v`` read from the
+initial state land on ``q``.  States never grow beyond the initial
+chain plus the rule spines, so the construction reaches a fixpoint in
+polynomial time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.paths import Path
+
+
+@dataclass(frozen=True)
+class RewriteStep:
+    """One prefix-rewriting step in a derivation.
+
+    ``source = rule_lhs . suffix`` rewrites to ``target = rule_rhs .
+    suffix``.  ``inverted`` marks a use of the rule right-to-left
+    (possible only in symmetric systems; it corresponds to the
+    commutativity inference rule).
+    """
+
+    source: Path
+    target: Path
+    rule_index: int
+    inverted: bool
+    suffix: Path
+
+    def describe(self) -> str:
+        direction = "<-" if self.inverted else "->"
+        return (
+            f"{self.source} => {self.target}  "
+            f"[rule {self.rule_index} {direction}, suffix {self.suffix}]"
+        )
+
+
+class PrefixRewriteSystem:
+    """A finite prefix rewriting system with cached ``post*`` automata.
+
+    >>> system = PrefixRewriteSystem([("a.b", "c"), ("c.d", "a")])
+    >>> system.derives("a.b.d", "a")     # a.b.d => c.d => a
+    True
+    >>> system.derives("a", "a.b.d")     # not symmetric
+    False
+    >>> PrefixRewriteSystem([("a.b", "c"), ("c.d", "a")],
+    ...                     symmetric=True).derives("a", "a.b.d")
+    True
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[tuple[Path | str, Path | str]],
+        symmetric: bool = False,
+    ) -> None:
+        base = [
+            (Path.coerce(lhs), Path.coerce(rhs)) for lhs, rhs in rules
+        ]
+        self._base_rules = tuple(base)
+        self._symmetric = symmetric
+        effective = list(base)
+        if symmetric:
+            effective.extend((rhs, lhs) for lhs, rhs in base)
+        self._rules = tuple(effective)
+        self._post_cache: dict[Path, NFA] = {}
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def rules(self) -> tuple[tuple[Path, Path], ...]:
+        """The user-supplied rules (without symmetric inverses)."""
+        return self._base_rules
+
+    @property
+    def symmetric(self) -> bool:
+        return self._symmetric
+
+    def alphabet(self) -> frozenset[str]:
+        out: set[str] = set()
+        for lhs, rhs in self._base_rules:
+            out |= lhs.alphabet() | rhs.alphabet()
+        return frozenset(out)
+
+    def inverse(self) -> "PrefixRewriteSystem":
+        """The system with every rule reversed (``pre*`` of self is
+        ``post*`` of the inverse)."""
+        return PrefixRewriteSystem(
+            [(rhs, lhs) for lhs, rhs in self._base_rules],
+            symmetric=self._symmetric,
+        )
+
+    # -- one-step rewriting ---------------------------------------------------
+
+    def neighbors(self, word: Path) -> Iterator[RewriteStep]:
+        """All one-step rewrites of ``word`` (including inverted rule
+        uses when the system is symmetric)."""
+        base_count = len(self._base_rules)
+        for index, (lhs, rhs) in enumerate(self._rules):
+            if lhs.is_prefix_of(word):
+                suffix = word.strip_prefix(lhs)
+                yield RewriteStep(
+                    source=word,
+                    target=rhs.concat(suffix),
+                    rule_index=index % base_count if base_count else index,
+                    inverted=index >= base_count,
+                    suffix=suffix,
+                )
+
+    # -- post* saturation -------------------------------------------------------
+
+    def post_star_automaton(self, word: Path | str) -> NFA:
+        """An NFA accepting ``post*(word)``; memoized per word."""
+        word = Path.coerce(word)
+        cached = self._post_cache.get(word)
+        if cached is not None:
+            return cached
+        nfa = self._saturate(word)
+        self._post_cache[word] = nfa
+        return nfa
+
+    def _saturate(self, word: Path) -> NFA:
+        nfa = NFA.for_word(word.labels)
+        q0 = nfa.initial
+        # Pre-build the spine of each rule's right-hand side: reading
+        # rhs[:-1] from the initial state lands on the spine tip; the
+        # saturation loop then only has to add the final edge per
+        # (rule, target-state) pair.  Rules with |rhs| <= 1 need no
+        # spine.  This eager spine is sound: no word is accepted
+        # through a spine until some final edge lands on an accepting
+        # continuation.
+        tails: list[tuple[object, object]] = []  # (src_state, last_symbol)
+        for index, (_, rhs) in enumerate(self._rules):
+            if len(rhs) == 0:
+                tails.append((q0, EPSILON))
+            elif len(rhs) == 1:
+                tails.append((q0, rhs.labels[0]))
+            else:
+                prev = q0
+                for j, symbol in enumerate(rhs.labels[:-1]):
+                    state = ("r", index, j)
+                    nfa.add_transition(prev, symbol, state)
+                    prev = state
+                tails.append((prev, rhs.labels[-1]))
+
+        changed = True
+        while changed:
+            changed = False
+            for index, (lhs, _) in enumerate(self._rules):
+                src, symbol = tails[index]
+                for q in nfa.states_reachable_reading(lhs.labels):
+                    if nfa.add_transition(src, symbol, q):
+                        changed = True
+        return nfa
+
+    def derives(self, source: Path | str, target: Path | str) -> bool:
+        """Is ``target`` reachable from ``source``?
+
+        This is the decision core of the untyped word-constraint
+        decider (and, with ``symmetric=True``, of the typed-M decider).
+        """
+        source = Path.coerce(source)
+        target = Path.coerce(target)
+        if source == target:
+            return True
+        return self.post_star_automaton(source).accepts(target.labels)
+
+    def derivable_words(
+        self, source: Path | str, max_length: int, max_count: int | None = None
+    ) -> Iterator[Path]:
+        """Enumerate ``post*(source)`` members in shortlex order."""
+        nfa = self.post_star_automaton(source)
+        for labels in nfa.enumerate_words(max_length, max_count):
+            yield Path(labels)
+
+    # -- explicit derivations --------------------------------------------------
+
+    def find_derivation(
+        self,
+        source: Path | str,
+        target: Path | str,
+        max_steps: int = 100_000,
+        max_length: int | None = None,
+    ) -> list[RewriteStep] | None:
+        """An explicit rewrite sequence from source to target, or None.
+
+        Breadth-first search over words, capped by a word-length bound
+        and an expansion budget.  Callers that only need yes/no should
+        use :meth:`derives` (complete and polynomial); this method
+        exists to extract *certificates* (which the I_r proof builder
+        turns into checkable proofs), so incompleteness within the
+        budget is acceptable and reported as None.
+        """
+        source = Path.coerce(source)
+        target = Path.coerce(target)
+        if source == target:
+            return []
+        if not self.derives(source, target):
+            return None
+        if max_length is None:
+            longest_rule = max(
+                (len(rhs) for _, rhs in self._rules), default=0
+            )
+            max_length = max(len(source), len(target)) + longest_rule + 8
+
+        parents: dict[Path, RewriteStep | None] = {source: None}
+        queue: deque[Path] = deque([source])
+        expansions = 0
+        while queue and expansions < max_steps:
+            word = queue.popleft()
+            expansions += 1
+            for step in self.neighbors(word):
+                if step.target in parents or len(step.target) > max_length:
+                    continue
+                parents[step.target] = step
+                if step.target == target:
+                    return self._unwind(parents, target)
+                queue.append(step.target)
+        return None
+
+    @staticmethod
+    def _unwind(
+        parents: dict[Path, RewriteStep | None], target: Path
+    ) -> list[RewriteStep]:
+        steps: list[RewriteStep] = []
+        current = target
+        while True:
+            step = parents[current]
+            if step is None:
+                break
+            steps.append(step)
+            current = step.source
+        steps.reverse()
+        return steps
+
+    def check_derivation(
+        self, source: Path | str, target: Path | str, steps: list[RewriteStep]
+    ) -> bool:
+        """Verify an explicit derivation independently of the search."""
+        current = Path.coerce(source)
+        base_count = len(self._base_rules)
+        for step in steps:
+            if step.source != current:
+                return False
+            if not 0 <= step.rule_index < base_count:
+                return False
+            lhs, rhs = self._base_rules[step.rule_index]
+            if step.inverted:
+                if not self._symmetric:
+                    return False
+                lhs, rhs = rhs, lhs
+            if lhs.concat(step.suffix) != current:
+                return False
+            if rhs.concat(step.suffix) != step.target:
+                return False
+            current = step.target
+        return current == Path.coerce(target)
+
+    def __repr__(self) -> str:
+        kind = "symmetric " if self._symmetric else ""
+        return f"<{kind}PrefixRewriteSystem rules={len(self._base_rules)}>"

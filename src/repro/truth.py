@@ -1,0 +1,58 @@
+"""Three-valued truth for semi-decision procedures.
+
+Several of the paper's implication problems are undecidable
+(Theorems 4.1, 4.3, 5.2, 6.1, 6.2), so the corresponding procedures in
+this library are *semi*-deciders: they may answer definitely yes,
+definitely no, or give up within a budget.  :class:`Trilean` is the
+shared answer type.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Trilean(enum.Enum):
+    """A definite yes, a definite no, or an honest "ran out of budget"."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+    @classmethod
+    def of(cls, value: bool) -> "Trilean":
+        """Lift a bool to a definite answer."""
+        return cls.TRUE if value else cls.FALSE
+
+    @property
+    def is_definite(self) -> bool:
+        return self is not Trilean.UNKNOWN
+
+    def to_bool(self) -> bool:
+        """Collapse to bool; raises on UNKNOWN."""
+        if self is Trilean.UNKNOWN:
+            raise ValueError("answer is UNKNOWN; no definite boolean")
+        return self is Trilean.TRUE
+
+    def __invert__(self) -> "Trilean":
+        if self is Trilean.TRUE:
+            return Trilean.FALSE
+        if self is Trilean.FALSE:
+            return Trilean.TRUE
+        return Trilean.UNKNOWN
+
+    def __and__(self, other: "Trilean") -> "Trilean":
+        """Kleene conjunction."""
+        if Trilean.FALSE in (self, other):
+            return Trilean.FALSE
+        if Trilean.UNKNOWN in (self, other):
+            return Trilean.UNKNOWN
+        return Trilean.TRUE
+
+    def __or__(self, other: "Trilean") -> "Trilean":
+        """Kleene disjunction."""
+        if Trilean.TRUE in (self, other):
+            return Trilean.TRUE
+        if Trilean.UNKNOWN in (self, other):
+            return Trilean.UNKNOWN
+        return Trilean.FALSE

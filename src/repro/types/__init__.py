@@ -1,0 +1,44 @@
+"""The object-oriented type systems M+ and M (Section 3).
+
+* **M+** supports classes, records, sets and recursive structures; a
+  schema is ``Delta = (C, nu, DBtype)``.
+* **M** is the restriction without sets, where record fields hold only
+  atomic values and oids; its databases are comparable to feature
+  structures.
+* **M+_f** is M+ with finite sets (Section 6); the schema machinery is
+  identical — finiteness matters only to which structures count as
+  instances, which this library tracks with an explicit flag on
+  enumeration helpers.
+
+A schema determines a first-order signature ``sigma(Delta) =
+(r, E(Delta), T(Delta))`` and a type constraint ``Phi(Delta)``
+(Section 3.2.2); graphs satisfying ``Phi(Delta)`` are the abstraction
+of typed instances (Lemma 3.1).
+"""
+
+from repro.types.typesys import (
+    AtomicType,
+    ClassRef,
+    MEMBERSHIP_LABEL,
+    RecordType,
+    Schema,
+    SetType,
+    Type,
+)
+from repro.types.siggen import SchemaSignature
+from repro.types.instances import Instance
+from repro.types.typecheck import TypingReport, check_type_constraint
+
+__all__ = [
+    "AtomicType",
+    "ClassRef",
+    "SetType",
+    "RecordType",
+    "Type",
+    "Schema",
+    "SchemaSignature",
+    "Instance",
+    "TypingReport",
+    "check_type_constraint",
+    "MEMBERSHIP_LABEL",
+]

@@ -1,0 +1,135 @@
+"""Enumerating members of U_f(Delta) for M schemas.
+
+Over the restricted model M, a structure satisfying ``Phi(Delta)`` is
+determined by: a finite set of nodes per class sort, one node per
+reachable atomic sort occurrence (atoms carry no outgoing structure,
+so one representative per sort loses no constraint-relevant
+generality — P_c constraints only compare reachability), and a *total,
+deterministic* choice of target for every (record node, label) pair.
+This module enumerates exactly those choices, yielding sorted graphs
+that pass the Phi(Delta) checker by construction.
+
+This gives the typed deciders a brute-force semantic oracle: Theorem
+4.9's soundness can be checked by confirming that decided implications
+hold on every enumerated structure, and refutations can be witnessed
+by enumerated counter-models.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+
+from repro.graph.structure import Graph
+from repro.types.siggen import SchemaSignature
+from repro.types.typesys import ClassRef, Schema, Type
+
+
+def enumerate_m_structures(
+    schema: Schema,
+    max_per_class: int = 2,
+    limit: int | None = None,
+    reachable_only: bool = True,
+) -> Iterator[Graph]:
+    """Yield members of U_f(Delta) for an M schema.
+
+    ``max_per_class`` bounds the node count per class sort; atomic
+    sorts get a single node.  With ``reachable_only`` (default),
+    structures with nodes unreachable from the root are skipped —
+    root-anchored P_c constraints cannot see them, and the Phi(Delta)
+    checker's sort inference requires reachability.
+
+    The count grows as ``prod(classes) * n^(edges)``; callers pass a
+    ``limit``.
+    """
+    schema.require_m()
+    signature = SchemaSignature(schema)
+
+    # Sorts: the root record, class sorts, atomic sorts.
+    class_sorts = [
+        state for state in signature.states if isinstance(state, ClassRef)
+    ]
+    class_sorts.sort(key=lambda s: s.name)
+
+    def nodes_of(state: Type, counts: dict[str, int]) -> list:
+        if state == signature.root_type:
+            return ["r"]
+        if isinstance(state, ClassRef):
+            return [(state.name, i) for i in range(counts[state.name])]
+        # atomic sort: a single representative
+        return [("atom", signature.sort_name(state))]
+
+    emitted = 0
+    for sizes in itertools.product(
+        range(1, max_per_class + 1), repeat=len(class_sorts)
+    ):
+        counts = {
+            sort.name: size for sort, size in zip(class_sorts, sizes)
+        }
+        # Every (source node, label) slot needs a target choice among
+        # the nodes of the target sort.
+        slots: list[tuple[object, str, list]] = []
+        impossible = False
+        for state in [signature.root_type] + class_sorts:
+            sources = nodes_of(state, counts)
+            body = schema.resolve(state)
+            if not body.is_record():
+                continue
+            for label in body.labels:  # type: ignore[attr-defined]
+                target_state = signature.transition(state, label)
+                targets = nodes_of(target_state, counts)
+                if not targets:
+                    impossible = True
+                    break
+                for source in sources:
+                    slots.append((source, label, targets))
+            if impossible:
+                break
+        if impossible:
+            continue
+
+        for choice in itertools.product(
+            *[targets for (_, _, targets) in slots]
+        ):
+            graph = Graph(root="r")
+            graph.set_sort("r", signature.sort_name(signature.root_type))
+            for state in class_sorts:
+                for node in nodes_of(state, counts):
+                    graph.add_node(node, sort=state.name)
+            for (source, label, _), target in zip(slots, choice):
+                graph.add_edge(source, label, target)
+                if graph.sort_of(target) is None:
+                    # atomic representative, sorted lazily
+                    graph.set_sort(target, target[1])
+            if reachable_only and graph.reachable() != graph.nodes:
+                continue
+            yield graph
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
+
+
+def find_m_countermodel(
+    schema: Schema,
+    sigma,
+    phi,
+    max_per_class: int = 2,
+    limit: int = 20_000,
+) -> Graph | None:
+    """Brute-force search of U_f(Delta) for a counter-model.
+
+    An independent semantic oracle for the typed-M decider: a hit
+    proves non-implication; exhaustion up to the bound proves nothing
+    (but in the test suite it cross-validates Theorem 4.9 on every
+    decided FALSE for small schemas).
+    """
+    from repro.checking.engine import satisfies_all
+    from repro.checking.satisfaction import violations
+
+    sigma = list(sigma)
+    for graph in enumerate_m_structures(
+        schema, max_per_class=max_per_class, limit=limit
+    ):
+        if satisfies_all(graph, sigma) and violations(graph, phi, limit=1):
+            return graph
+    return None

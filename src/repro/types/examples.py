@@ -1,0 +1,148 @@
+"""Schemas from the paper, plus generators for synthetic M schemas.
+
+* :func:`example_3_1_schema` — the bibliography schema of Example 3.1
+  (an M+ schema with optional sub-elements as sets);
+* :func:`delta1_schema` — the gadget schema Delta_1 of Section 5.2
+  used in the reduction behind Theorem 5.2;
+* :func:`feature_structure_schema` — a small M schema in the style of
+  the feature structures the paper compares M to;
+* :func:`random_m_schema` — deterministic random M schemas for the
+  cubic-decider benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.types.typesys import (
+    AtomicType,
+    ClassRef,
+    RecordType,
+    Schema,
+    SetType,
+)
+
+STRING = AtomicType("string")
+INT = AtomicType("int")
+
+
+def example_3_1_schema() -> Schema:
+    """The M+ schema of Example 3.1 (Penn-bib).
+
+    Person and Book classes; optional sub-elements (age, year) and
+    multi-valued relationships (wrote, ref, author) are set-typed.
+    """
+    person = RecordType(
+        [
+            ("name", STRING),
+            ("SSN", STRING),
+            ("age", SetType(INT)),
+            ("wrote", SetType(ClassRef("Book"))),
+        ]
+    )
+    book = RecordType(
+        [
+            ("title", STRING),
+            ("ISBN", STRING),
+            ("year", SetType(INT)),
+            ("ref", SetType(ClassRef("Book"))),
+            ("author", SetType(ClassRef("Person"))),
+        ]
+    )
+    db_type = RecordType(
+        [
+            ("person", SetType(ClassRef("Person"))),
+            ("book", SetType(ClassRef("Book"))),
+        ]
+    )
+    return Schema({"Person": person, "Book": book}, db_type)
+
+
+def delta1_schema(alphabet: Sequence[str]) -> Schema:
+    """The schema Delta_1 of Section 5.2.
+
+    For alphabet ``Gamma_0 = {l_1, ..., l_m}``::
+
+        C   -> [l_1: C, ..., l_m: C]
+        C_s -> {C}
+        C_l -> [a: C, b: C_s, K: C_l]
+        DBtype = [l: C_l]
+
+    The labels ``a``, ``b``, ``K`` and ``l`` must not occur in the
+    alphabet (the paper assumes this; we enforce it).
+    """
+    reserved = {"a", "b", "K", "l"}
+    clash = reserved & set(alphabet)
+    if clash:
+        raise ValueError(
+            f"alphabet letters {sorted(clash)} collide with the gadget "
+            "labels a, b, K, l"
+        )
+    c_body = RecordType([(letter, ClassRef("C")) for letter in alphabet])
+    cs_body = SetType(ClassRef("C"))
+    cl_body = RecordType(
+        [("a", ClassRef("C")), ("b", ClassRef("Cs")), ("K", ClassRef("Cl"))]
+    )
+    db_type = RecordType([("l", ClassRef("Cl"))])
+    return Schema({"C": c_body, "Cs": cs_body, "Cl": cl_body}, db_type)
+
+
+def feature_structure_schema() -> Schema:
+    """A small M schema: AGREE/HEAD feature structures.
+
+    M databases "are comparable to feature structures studied in
+    feature logics" (Section 3.3); this schema gives the tests and
+    examples a linguistically flavoured playground::
+
+        Agr  -> [number: string, person: string]
+        Cat  -> [head: Cat, agreement: Agr, phon: string]
+        DBtype = [sentence: Cat, subject: Cat]
+    """
+    agr = RecordType([("number", STRING), ("person", STRING)])
+    cat = RecordType(
+        [("head", ClassRef("Cat")), ("agreement", ClassRef("Agr")), ("phon", STRING)]
+    )
+    db_type = RecordType([("sentence", ClassRef("Cat")), ("subject", ClassRef("Cat"))])
+    return Schema({"Agr": agr, "Cat": cat}, db_type)
+
+
+def chain_m_schema(depth: int) -> Schema:
+    """An M schema whose Paths(Delta) is a chain with a loop at the end
+    (used by scaling benchmarks): ``DBtype -f1-> C1 -f2-> ... -> Cn``
+    with ``Cn`` looping back to ``C1`` via ``back``."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    classes: dict[str, RecordType] = {}
+    for i in range(1, depth + 1):
+        fields: list[tuple[str, object]] = [("tag", STRING)]
+        if i < depth:
+            fields.append((f"f{i + 1}", ClassRef(f"C{i + 1}")))
+        else:
+            fields.append(("back", ClassRef("C1")))
+        classes[f"C{i}"] = RecordType(fields)  # type: ignore[arg-type]
+    db_type = RecordType([("f1", ClassRef("C1"))])
+    return Schema(classes, db_type)
+
+
+def random_m_schema(
+    class_count: int, labels_per_class: int, seed: int = 0
+) -> Schema:
+    """A deterministic random M schema.
+
+    Every class is a record of ``labels_per_class`` class-valued fields
+    (targets chosen uniformly) plus one string field, so the type graph
+    is total on its labels and deeply recursive — the worst case for
+    the typed decider's saturation.
+    """
+    rng = random.Random(seed)
+    names = [f"C{i}" for i in range(class_count)]
+    classes: dict[str, RecordType] = {}
+    for name in names:
+        fields: list[tuple[str, object]] = [
+            (f"g{j}", ClassRef(rng.choice(names))) for j in range(labels_per_class)
+        ]
+        fields.append(("tag", STRING))
+        classes[name] = RecordType(fields)  # type: ignore[arg-type]
+    db_type = RecordType([("entry", ClassRef(names[0]))])
+    return Schema(classes, db_type)

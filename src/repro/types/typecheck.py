@@ -1,0 +1,240 @@
+"""Checking the type constraint Phi(Delta) on graphs (Section 3.2.2).
+
+A graph abstracts a typed database exactly when:
+
+* every node has a unique sort in T(Delta), and the root has DBtype;
+* an atomic-sorted node has no outgoing edges;
+* a set-sorted node (or class whose body is a set) has only
+  membership-labeled edges, all leading to nodes of the element sort;
+* a record-sorted node (or class whose body is a record) has *exactly*
+  one outgoing edge per record label and nothing else, each leading to
+  a node of the field's sort;
+* pure set and record sorts are extensional: two nodes of the same
+  set sort with the same members (resp. same record sort with the same
+  fields) are the same node.  Class sorts carry object identity and
+  are exempt.
+
+``check_type_constraint`` verifies all of this, inferring the sort
+assignment from the root when the graph carries none, and returns a
+report listing every violation (empty report == ``G |= Phi(Delta)``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.graph.structure import Graph, Node
+from repro.types.siggen import SchemaSignature
+from repro.types.typesys import (
+    MEMBERSHIP_LABEL,
+    AtomicType,
+    RecordType,
+    Schema,
+    SetType,
+    Type,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One way a graph fails Phi(Delta)."""
+
+    node: Node
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.node!r}: {self.reason}"
+
+
+@dataclass
+class TypingReport:
+    """Outcome of a Phi(Delta) check.
+
+    ``ok`` is the paper's ``G |= Phi(Delta)``; ``sorts`` is the
+    (possibly inferred) sort assignment that was checked.
+    """
+
+    ok: bool
+    sorts: dict[Node, str] = field(default_factory=dict)
+    violations: list[Violation] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        if self.ok:
+            return "G |= Phi(Delta)"
+        lines = [f"{len(self.violations)} violation(s):"]
+        lines.extend(f"  - {v}" for v in self.violations[:20])
+        if len(self.violations) > 20:
+            lines.append(f"  ... and {len(self.violations) - 20} more")
+        return "\n".join(lines)
+
+
+def infer_sorts(
+    schema: Schema, graph: Graph
+) -> tuple[dict[Node, Type], list[Violation]]:
+    """Propagate sorts from the root through the type graph.
+
+    Returns the inferred assignment plus any conflicts (a node forced
+    to two different sorts) and untyped leftovers.
+    """
+    signature = SchemaSignature(schema)
+    assignment: dict[Node, Type] = {graph.root: signature.root_type}
+    violations: list[Violation] = []
+    queue: deque[Node] = deque([graph.root])
+    while queue:
+        node = queue.popleft()
+        state = assignment[node]
+        for label, target in graph.out_edges(node):
+            expected = signature.transition(state, label)
+            if expected is None:
+                # Shape violations are reported by the main checker;
+                # inference just cannot type the target through this edge.
+                continue
+            known = assignment.get(target)
+            if known is None:
+                assignment[target] = expected
+                queue.append(target)
+            elif known != expected:
+                violations.append(
+                    Violation(
+                        target,
+                        f"sort conflict: {signature.sort_name(known)} vs "
+                        f"{signature.sort_name(expected)} (via "
+                        f"{label} from {node!r})",
+                    )
+                )
+    for node in graph.nodes:
+        if node not in assignment:
+            violations.append(
+                Violation(node, "untyped: unreachable from the root")
+            )
+    return assignment, violations
+
+
+def check_type_constraint(
+    schema: Schema, graph: Graph, use_graph_sorts: bool = True
+) -> TypingReport:
+    """Does ``graph |= Phi(Delta)``?
+
+    When ``use_graph_sorts`` and the graph carries a sort assignment,
+    that assignment is used (after translating names back to type
+    states); otherwise sorts are inferred from the root.
+    """
+    signature = SchemaSignature(schema)
+    violations: list[Violation] = []
+
+    graph_sorts = graph.sorts if use_graph_sorts else {}
+    if graph_sorts:
+        by_name = {signature.sort_name(s): s for s in signature.states}
+        assignment: dict[Node, Type] = {}
+        for node, name in graph_sorts.items():
+            state = by_name.get(name)
+            if state is None:
+                violations.append(
+                    Violation(node, f"sort {name!r} is not in T(Delta)")
+                )
+            else:
+                assignment[node] = state
+        for node in graph.nodes:
+            if node not in graph_sorts:
+                violations.append(Violation(node, "node has no sort"))
+        root_state = assignment.get(graph.root)
+        if root_state is not None and root_state != signature.root_type:
+            violations.append(
+                Violation(graph.root, "root does not have sort DBtype")
+            )
+    else:
+        assignment, inference_violations = infer_sorts(schema, graph)
+        violations.extend(inference_violations)
+
+    # Local shape per node.
+    for node, state in assignment.items():
+        body = schema.resolve(state)
+        if isinstance(body, AtomicType):
+            if graph.out_degree(node) != 0:
+                violations.append(
+                    Violation(node, "atomic-sorted node has outgoing edges")
+                )
+        elif isinstance(body, SetType):
+            element_state = signature.transition(state, MEMBERSHIP_LABEL)
+            for label, target in graph.out_edges(node):
+                if label != MEMBERSHIP_LABEL:
+                    violations.append(
+                        Violation(
+                            node,
+                            f"set-sorted node has a non-membership edge {label!r}",
+                        )
+                    )
+                elif assignment.get(target) != element_state:
+                    violations.append(
+                        Violation(
+                            node,
+                            f"member {target!r} does not have the element sort",
+                        )
+                    )
+        elif isinstance(body, RecordType):
+            for label in body.labels:
+                targets = graph.successors(node, label)
+                if len(targets) != 1:
+                    violations.append(
+                        Violation(
+                            node,
+                            f"record label {label!r} has {len(targets)} edges "
+                            "(expected exactly 1)",
+                        )
+                    )
+                expected = signature.transition(state, label)
+                for target in targets:
+                    if assignment.get(target) != expected:
+                        violations.append(
+                            Violation(
+                                node,
+                                f"field {label!r} target {target!r} has the "
+                                "wrong sort",
+                            )
+                        )
+            for label, target in graph.out_edges(node):
+                if label not in body:
+                    violations.append(
+                        Violation(
+                            node, f"unexpected edge {label!r} on a record node"
+                        )
+                    )
+
+    # Extensionality for pure set and record sorts.
+    extensional: dict[tuple, Node] = {}
+    for node, state in assignment.items():
+        if isinstance(state, SetType):
+            key = (
+                "set",
+                state,
+                frozenset(graph.successors(node, MEMBERSHIP_LABEL)),
+            )
+        elif isinstance(state, RecordType):
+            key = (
+                "rec",
+                state,
+                tuple(
+                    (label, frozenset(graph.successors(node, label)))
+                    for label in state.labels
+                ),
+            )
+        else:
+            continue
+        other = extensional.get(key)
+        if other is None:
+            extensional[key] = node
+        else:
+            violations.append(
+                Violation(
+                    node,
+                    f"extensionality: duplicates {other!r} "
+                    f"(same sort, same contents)",
+                )
+            )
+
+    sorts = {node: signature.sort_name(state) for node, state in assignment.items()}
+    return TypingReport(ok=not violations, sorts=sorts, violations=violations)

@@ -1,0 +1,24 @@
+"""A minimal XML frontend.
+
+The paper's motivating setting is XML on the Web: documents are
+semistructured graphs, proposals like XML-Data impose schemas, and
+path constraints describe integrity.  This package closes the loop
+with no external dependencies:
+
+* :mod:`repro.xml.parser` — a small, strict XML subset parser
+  (elements, attributes, text, comments);
+* :mod:`repro.xml.graphize` — documents to sigma-structures;
+* :mod:`repro.xml.schema` — XML-Data-style ``elementType``
+  declarations to M+ schemas (the Section 1 example, literally).
+"""
+
+from repro.xml.parser import Element, parse_xml
+from repro.xml.graphize import document_to_graph
+from repro.xml.schema import schema_from_xml_data
+
+__all__ = [
+    "Element",
+    "parse_xml",
+    "document_to_graph",
+    "schema_from_xml_data",
+]

@@ -1,0 +1,157 @@
+"""A minimal, dependency-free XML subset parser.
+
+Supports elements, attributes (single or double quoted), self-closing
+tags, text content, comments and an optional XML declaration.  It does
+*not* support namespaces, DTDs, CDATA or processing instructions —
+the 1998-era documents this library models need none of them.  Errors
+raise :class:`repro.errors.XMLSyntaxError` with positions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import XMLSyntaxError
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_.\-]*"
+_TOKEN = re.compile(
+    r"<!--(?P<comment>.*?)-->"
+    r"|<\?(?P<pi>.*?)\?>"
+    r"|<(?P<close>/)?(?P<name>" + _NAME + r")(?P<attrs>[^<>]*?)(?P<selfclose>/)?>"
+    r"|(?P<text>[^<]+)",
+    re.DOTALL,
+)
+_ATTR = re.compile(
+    r"\s*(?P<key>" + _NAME + r")\s*=\s*(?P<quote>[\"'])(?P<value>.*?)(?P=quote)",
+    re.DOTALL,
+)
+
+_ENTITIES = {"&lt;": "<", "&gt;": ">", "&amp;": "&", "&quot;": '"', "&apos;": "'"}
+
+
+def _unescape(text: str) -> str:
+    for entity, char in _ENTITIES.items():
+        text = text.replace(entity, char)
+    return text
+
+
+@dataclass
+class Element:
+    """One XML element: tag, attributes, children, text content."""
+
+    tag: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    children: list["Element"] = field(default_factory=list)
+    text: str = ""
+
+    def find_all(self, tag: str) -> list["Element"]:
+        """Direct children with the given tag."""
+        return [child for child in self.children if child.tag == tag]
+
+    def find(self, tag: str) -> "Element | None":
+        """First direct child with the given tag, or None."""
+        for child in self.children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def get(self, attribute: str, default: str | None = None) -> str | None:
+        return self.attributes.get(attribute, default)
+
+    def iter(self):
+        """Depth-first iteration over this element and descendants."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Element {self.tag} attrs={len(self.attributes)} "
+            f"children={len(self.children)}>"
+        )
+
+
+def _parse_attributes(raw: str, pos: int) -> dict[str, str]:
+    attributes: dict[str, str] = {}
+    cursor = 0
+    while cursor < len(raw):
+        match = _ATTR.match(raw, cursor)
+        if match is None:
+            if raw[cursor:].strip():
+                raise XMLSyntaxError(
+                    f"malformed attributes {raw[cursor:].strip()!r} near "
+                    f"offset {pos}"
+                )
+            break
+        key = match.group("key")
+        if key in attributes:
+            raise XMLSyntaxError(f"duplicate attribute {key!r} near offset {pos}")
+        attributes[key] = _unescape(match.group("value"))
+        cursor = match.end()
+    return attributes
+
+
+def parse_xml(source: str) -> Element:
+    """Parse a document and return its root element.
+
+    >>> root = parse_xml('<book isbn="1"><title>Found. of DBs</title></book>')
+    >>> root.tag, root.attributes["isbn"], root.find("title").text
+    ('book', '1', 'Found. of DBs')
+    """
+    stack: list[Element] = []
+    root: Element | None = None
+    pos = 0
+    for match in _TOKEN.finditer(source):
+        if match.start() != pos:
+            raise XMLSyntaxError(
+                f"unparseable content at offset {pos}: "
+                f"{source[pos:match.start()]!r}"
+            )
+        pos = match.end()
+        if match.group("comment") is not None or match.group("pi") is not None:
+            continue
+        if match.group("text") is not None:
+            text = match.group("text")
+            if text.strip():
+                if not stack:
+                    raise XMLSyntaxError(
+                        f"text outside the root element at offset {match.start()}"
+                    )
+                stack[-1].text += _unescape(text.strip())
+            continue
+        name = match.group("name")
+        if match.group("close"):
+            if match.group("attrs").strip() or match.group("selfclose"):
+                raise XMLSyntaxError(f"malformed closing tag </{name}>")
+            if not stack or stack[-1].tag != name:
+                open_tag = stack[-1].tag if stack else None
+                raise XMLSyntaxError(
+                    f"closing </{name}> does not match open <{open_tag}>"
+                )
+            closed = stack.pop()
+            if not stack:
+                if root is not None:
+                    raise XMLSyntaxError("multiple root elements")
+                root = closed
+            continue
+        element = Element(
+            tag=name,
+            attributes=_parse_attributes(match.group("attrs"), match.start()),
+        )
+        if stack:
+            stack[-1].children.append(element)
+        elif root is not None:
+            raise XMLSyntaxError("multiple root elements")
+        if match.group("selfclose"):
+            if not stack:
+                root = element
+        else:
+            stack.append(element)
+    if pos != len(source) and source[pos:].strip():
+        raise XMLSyntaxError(f"trailing content at offset {pos}")
+    if stack:
+        raise XMLSyntaxError(f"unclosed element <{stack[-1].tag}>")
+    if root is None:
+        raise XMLSyntaxError("no root element")
+    return root

@@ -1,0 +1,69 @@
+"""Shared fixtures: the paper's running examples as reusable objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import parse_constraints
+from repro.graph.builders import figure1_graph, penn_bib_with_locals
+from repro.monoids.presentation import MonoidPresentation
+from repro.types.examples import (
+    delta1_schema,
+    example_3_1_schema,
+    feature_structure_schema,
+)
+
+
+@pytest.fixture
+def fig1():
+    """The Figure 1 bibliography graph."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def penn_bib():
+    """Figure 1 plus the MIT/Warner local databases of Section 1."""
+    return penn_bib_with_locals()
+
+
+@pytest.fixture
+def section1_constraints():
+    """Every constraint displayed in Section 1, in order: the inverse
+    pair, the three extent word constraints, and the MIT local inverse
+    pair."""
+    return parse_constraints(
+        """
+        book :: author ~> wrote
+        person :: wrote ~> author
+        book.author => person
+        person.wrote => book
+        book.ref => book
+        MIT.book :: author ~> wrote
+        MIT.person :: wrote ~> author
+        """
+    )
+
+
+@pytest.fixture
+def bib_schema():
+    """The Example 3.1 M+ schema."""
+    return example_3_1_schema()
+
+
+@pytest.fixture
+def fs_schema():
+    """A small M schema (feature structures)."""
+    return feature_structure_schema()
+
+
+@pytest.fixture
+def gadget_schema():
+    """Delta_1 over the two-letter alphabet {u, v}."""
+    return delta1_schema(["u", "v"])
+
+
+@pytest.fixture
+def commutative_uv():
+    """The free commutative monoid on {u, v} (letters chosen to avoid
+    the Delta_1 gadget labels)."""
+    return MonoidPresentation("uv", [("u.v", "v.u")])

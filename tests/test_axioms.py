@@ -1,0 +1,213 @@
+"""Tests for the I_r proof system and its independent checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import backward, forward, parse_constraint, word
+from repro.errors import ProofError
+from repro.paths import Path
+from repro.reasoning.axioms import (
+    ALL_RULES,
+    IrProof,
+    M_ONLY_RULES,
+    ProofBuilder,
+    ProofLine,
+    UNIVERSALLY_SOUND_RULES,
+    check_proof,
+)
+
+
+class TestRulePartition:
+    def test_rule_sets_disjoint_and_complete(self):
+        assert not (UNIVERSALLY_SOUND_RULES & M_ONLY_RULES)
+        assert UNIVERSALLY_SOUND_RULES | M_ONLY_RULES == ALL_RULES
+        # All eight paper rules plus axiom are present.
+        assert len(ALL_RULES) == 9
+
+
+class TestChecker:
+    def test_axiom_line(self):
+        phi = word("a", "b")
+        proof = IrProof((phi,), (ProofLine(phi, "axiom"),))
+        assert check_proof(proof) == phi
+
+    def test_axiom_must_be_assumption(self):
+        proof = IrProof((), (ProofLine(word("a", "b"), "axiom"),))
+        with pytest.raises(ProofError, match="line 0"):
+            check_proof(proof)
+
+    def test_reflexivity(self):
+        proof = IrProof((), (ProofLine(word("a", "a"), "reflexivity"),))
+        check_proof(proof)
+        bad = IrProof((), (ProofLine(word("a", "b"), "reflexivity"),))
+        with pytest.raises(ProofError):
+            check_proof(bad)
+
+    def test_transitivity(self):
+        a_b, b_c, a_c = word("a", "b"), word("b", "c"), word("a", "c")
+        proof = IrProof(
+            (a_b, b_c),
+            (
+                ProofLine(a_b, "axiom"),
+                ProofLine(b_c, "axiom"),
+                ProofLine(a_c, "transitivity", (0, 1)),
+            ),
+        )
+        check_proof(proof)
+        # Premises that do not chain.
+        bad = IrProof(
+            (a_b, b_c),
+            (
+                ProofLine(a_b, "axiom"),
+                ProofLine(b_c, "axiom"),
+                ProofLine(word("b", "a"), "transitivity", (0, 1)),
+            ),
+        )
+        with pytest.raises(ProofError):
+            check_proof(bad)
+
+    def test_right_congruence(self):
+        a_b = word("a", "b")
+        good = IrProof(
+            (a_b,),
+            (
+                ProofLine(a_b, "axiom"),
+                ProofLine(word("a.z", "b.z"), "right-congruence", (0,)),
+            ),
+        )
+        check_proof(good)
+        # Different suffixes on the two sides.
+        bad = IrProof(
+            (a_b,),
+            (
+                ProofLine(a_b, "axiom"),
+                ProofLine(word("a.z", "b.w"), "right-congruence", (0,)),
+            ),
+        )
+        with pytest.raises(ProofError):
+            check_proof(bad)
+
+    def test_commutativity(self):
+        a_b = word("a", "b")
+        proof = IrProof(
+            (a_b,),
+            (
+                ProofLine(a_b, "axiom"),
+                ProofLine(word("b", "a"), "commutativity", (0,)),
+            ),
+        )
+        check_proof(proof)
+
+    def test_forward_to_word(self):
+        phi = forward("p", "a", "b")
+        proof = IrProof(
+            (phi,),
+            (
+                ProofLine(phi, "axiom"),
+                ProofLine(word("p.a", "p.b"), "forward-to-word", (0,)),
+            ),
+        )
+        check_proof(proof)
+        bad = IrProof(
+            (phi,),
+            (
+                ProofLine(phi, "axiom"),
+                ProofLine(word("p.a", "b"), "forward-to-word", (0,)),
+            ),
+        )
+        with pytest.raises(ProofError):
+            check_proof(bad)
+
+    def test_word_to_forward(self):
+        base = word("p.a", "p.b")
+        target = forward("p", "a", "b")
+        proof = IrProof(
+            (base,),
+            (
+                ProofLine(base, "axiom"),
+                ProofLine(target, "word-to-forward", (0,)),
+            ),
+        )
+        check_proof(proof)
+
+    def test_backward_conversions(self):
+        phi = backward("p", "a", "w")
+        image = word("p", "p.a.w")
+        proof = IrProof(
+            (phi,),
+            (
+                ProofLine(phi, "axiom"),
+                ProofLine(image, "backward-to-word", (0,)),
+                ProofLine(phi, "word-to-backward", (1,)),
+            ),
+        )
+        check_proof(proof)
+
+    def test_unknown_rule(self):
+        proof = IrProof((), (ProofLine(word("a", "a"), "magic"),))
+        with pytest.raises(ProofError, match="unknown rule"):
+            check_proof(proof)
+
+    def test_premise_out_of_range(self):
+        proof = IrProof(
+            (),
+            (
+                ProofLine(word("a", "a"), "reflexivity"),
+                ProofLine(word("a", "a"), "transitivity", (0, 7)),
+            ),
+        )
+        with pytest.raises(ProofError):
+            check_proof(proof)
+
+    def test_forward_premise_only_forward(self):
+        # forward-to-word applied to a backward constraint must fail.
+        phi = backward("p", "a", "b")
+        proof = IrProof(
+            (phi,),
+            (
+                ProofLine(phi, "axiom"),
+                ProofLine(word("p.a", "p.b"), "forward-to-word", (0,)),
+            ),
+        )
+        with pytest.raises(ProofError):
+            check_proof(proof)
+
+    def test_empty_proof_has_no_conclusion(self):
+        with pytest.raises(ProofError):
+            IrProof((), ()).conclusion
+
+
+class TestBuilder:
+    def test_builder_dedupes_lines(self):
+        phi = word("a", "b")
+        builder = ProofBuilder((phi,))
+        first = builder.axiom(phi)
+        second = builder.axiom(phi)
+        assert first == second
+        assert len(builder.build().lines) == 1
+
+    def test_builder_rejects_foreign_axiom(self):
+        builder = ProofBuilder((word("a", "b"),))
+        with pytest.raises(ProofError):
+            builder.axiom(word("x", "y"))
+
+    def test_builder_produces_checkable_proofs(self):
+        phi = word("a", "b")
+        builder = ProofBuilder((phi,))
+        start = builder.reflexivity(Path.parse("a.z"))
+        ax = builder.axiom(phi)
+        cong = builder.right_congruence(ax, Path.parse("z"))
+        final = builder.transitivity(start, cong)
+        proof = builder.build()
+        assert check_proof(proof) == word("a.z", "b.z")
+        assert proof.lines[final].constraint == word("a.z", "b.z")
+
+    def test_sound_rule_classification(self):
+        phi = word("a", "b")
+        builder = ProofBuilder((phi,))
+        ax = builder.axiom(phi)
+        builder.commutativity(ax)
+        proof = builder.build()
+        assert proof.uses_only_sound_rules("M")
+        assert not proof.uses_only_sound_rules("untyped")

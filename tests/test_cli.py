@@ -1,0 +1,153 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph import figure1_graph
+from repro.graph.serialize import from_dict, to_dict
+
+SIGMA = """
+# bibliography constraints
+book :: author ~> wrote
+book.author => person
+person.wrote => book
+"""
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    graph_file = tmp_path / "fig1.json"
+    graph_file.write_text(json.dumps(to_dict(figure1_graph())))
+    sigma_file = tmp_path / "sigma.txt"
+    sigma_file.write_text(SIGMA)
+    return tmp_path, str(graph_file), str(sigma_file)
+
+
+class TestCheck:
+    def test_passing_graph(self, workspace, capsys):
+        _, graph, sigma = workspace
+        assert main(["check", graph, sigma]) == 0
+        assert "0 failed" in capsys.readouterr().out
+
+    def test_failing_graph(self, workspace, capsys):
+        tmp, _, sigma = workspace
+        g = figure1_graph()
+        g.add_edge("book1", "author", "ghost")
+        bad = tmp / "bad.json"
+        bad.write_text(json.dumps(to_dict(g)))
+        assert main(["check", str(bad), sigma]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestImply:
+    def test_word_implication(self, workspace, capsys):
+        tmp, _, _ = workspace
+        words = tmp / "words.txt"
+        words.write_text("book.author => person\nperson.wrote => book\n")
+        rc = main(["imply", str(words), "book.author.wrote => book"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "answer:     true" in out
+        assert "P_w" in out and "PTIME" in out
+
+    def test_countermodel_dump(self, workspace, capsys):
+        tmp, _, sigma = workspace
+        dump = tmp / "cm.json"
+        rc = main(
+            [
+                "imply", sigma, "person => book",
+                "--dump-countermodel", str(dump),
+            ]
+        )
+        assert rc == 0
+        assert "answer:     false" in capsys.readouterr().out
+        # The dumped counter-model loads and is a real graph.
+        graph = from_dict(json.loads(dump.read_text()))
+        assert graph.node_count() >= 1
+
+    def test_typed_context(self, workspace, tmp_path, capsys):
+        schema_file = tmp_path / "schema.xml"
+        schema_file.write_text(
+            """
+            <schema>
+              <elementType id="cat">
+                <element type="#head"/>
+              </elementType>
+              <elementType id="head"><string/></elementType>
+            </schema>
+            """
+        )
+        sigma_file = tmp_path / "s.txt"
+        sigma_file.write_text("cat.member.head => cat.member.head\n")
+        rc = main(
+            [
+                "imply", str(sigma_file), "cat => cat",
+                "--context", "M+", "--schema", str(schema_file),
+            ]
+        )
+        assert rc in (0, 2)  # definite or honest abstention
+
+    def test_strict_mode_refuses_undecidable(self, workspace, capsys):
+        _, _, sigma = workspace
+        rc = main(["imply", sigma, "person :: wrote ~> author", "--strict"])
+        assert rc == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_schema_for_typed_context(self, workspace):
+        _, _, sigma = workspace
+        rc = main(["imply", sigma, "a => b", "--context", "M"])
+        assert rc == 3
+
+
+class TestClassify:
+    def test_reports_all_contexts(self, workspace, capsys):
+        _, _, sigma = workspace
+        assert main(["classify", sigma, "book :: author ~> wrote"]) == 0
+        out = capsys.readouterr().out
+        assert "fragment: P_c" in out
+        assert "M+f" in out
+        assert out.count("undecidable") == 3
+
+
+class TestChaseAndDot:
+    def test_chase_writes_repaired_graph(self, workspace, capsys):
+        tmp, _, sigma = workspace
+        g = figure1_graph()
+        g.add_edge("book1", "author", "ghost")
+        broken = tmp / "broken.json"
+        broken.write_text(json.dumps(to_dict(g)))
+        out_file = tmp / "fixed.json"
+        rc = main(["chase", str(broken), sigma, "-o", str(out_file)])
+        assert rc == 0
+        fixed = from_dict(json.loads(out_file.read_text()))
+        from repro.checking.engine import satisfies_all
+        from repro.constraints import parse_constraints
+
+        assert satisfies_all(fixed, parse_constraints(SIGMA))
+
+    def test_dot_output(self, workspace, capsys):
+        _, graph, _ = workspace
+        assert main(["dot", graph]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestErrorHandling:
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.json", "/nope.txt"]) == 3
+
+    def test_bad_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        sigma = tmp_path / "s.txt"
+        sigma.write_text("a => b")
+        assert main(["check", str(bad), str(sigma)]) == 3
+
+    def test_bad_constraint_syntax(self, workspace, tmp_path):
+        _, graph, _ = workspace
+        bad = tmp_path / "bad.txt"
+        bad.write_text("this is not a constraint")
+        assert main(["check", graph, str(bad)]) == 3

@@ -1,0 +1,185 @@
+"""Tests for problem classification and Table-1 routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import parse_constraint, parse_constraints
+from repro.errors import UndecidableProblemError
+from repro.reasoning import (
+    Context,
+    ImplicationProblem,
+    ProblemClass,
+    classify,
+    solve,
+    table1_cell,
+)
+from repro.truth import Trilean
+
+
+class TestClassification:
+    def test_word(self):
+        sigma = parse_constraints("a => b")
+        assert classify(sigma, parse_constraint("a.c => b.c")) is ProblemClass.WORD
+
+    def test_pw_k(self):
+        sigma = parse_constraints("() => K\nK :: a => b")
+        phi = parse_constraint("a => b")
+        assert classify(sigma, phi) is ProblemClass.PW_K
+
+    def test_pw_k_needs_single_guard(self):
+        sigma = parse_constraints("K :: a => b\nJ :: a => b")
+        assert classify(sigma, parse_constraint("a => b")) is ProblemClass.GENERAL
+
+    def test_local_extent(self):
+        sigma = parse_constraints(
+            """
+            MIT :: book.author => person
+            Warner.book :: author ~> wrote
+            """
+        )
+        phi = parse_constraint("MIT :: book.ref => book")
+        assert classify(sigma, phi) is ProblemClass.LOCAL_EXTENT
+
+    def test_general(self):
+        sigma = parse_constraints("book :: author ~> wrote")
+        phi = parse_constraint("person :: wrote ~> author")
+        assert classify(sigma, phi) is ProblemClass.GENERAL
+
+    def test_guarded_not_local_extent_when_query_word(self):
+        # A P_w(K) instance where the query is a word constraint cannot
+        # be a Definition 2.4 instance (the query must be bounded).
+        sigma = parse_constraints("K :: a => b")
+        phi = parse_constraint("a => b")
+        assert classify(sigma, phi) is ProblemClass.PW_K
+
+
+class TestTable1:
+    @pytest.mark.parametrize(
+        "klass,context,decidable,complexity",
+        [
+            (ProblemClass.WORD, Context.SEMISTRUCTURED, True, "PTIME"),
+            (ProblemClass.PW_K, Context.SEMISTRUCTURED, False, None),
+            (ProblemClass.LOCAL_EXTENT, Context.SEMISTRUCTURED, True, "PTIME"),
+            (ProblemClass.GENERAL, Context.SEMISTRUCTURED, False, None),
+            (ProblemClass.WORD, Context.M, True, "cubic"),
+            (ProblemClass.PW_K, Context.M, True, "cubic"),
+            (ProblemClass.LOCAL_EXTENT, Context.M, True, "cubic"),
+            (ProblemClass.GENERAL, Context.M, True, "cubic"),
+            (ProblemClass.PW_K, Context.M_PLUS, False, None),
+            (ProblemClass.LOCAL_EXTENT, Context.M_PLUS, False, None),
+            (ProblemClass.GENERAL, Context.M_PLUS, False, None),
+            (ProblemClass.PW_K, Context.M_PLUS_FINITE, False, None),
+            (ProblemClass.LOCAL_EXTENT, Context.M_PLUS_FINITE, False, None),
+            (ProblemClass.GENERAL, Context.M_PLUS_FINITE, False, None),
+        ],
+    )
+    def test_cells_match_paper(self, klass, context, decidable, complexity):
+        assert table1_cell(klass, context) == (decidable, complexity)
+
+
+class TestProblemConstruction:
+    def test_typed_context_needs_schema(self):
+        with pytest.raises(ValueError):
+            ImplicationProblem(
+                parse_constraints("a => b"),
+                parse_constraint("a => b"),
+                context=Context.M,
+            )
+
+    def test_string_context_coerced(self):
+        problem = ImplicationProblem(
+            parse_constraints("a => b"),
+            parse_constraint("a => b"),
+            context="semistructured",
+        )
+        assert problem.context is Context.SEMISTRUCTURED
+
+
+class TestRouting:
+    def test_word_routed_to_ptime(self):
+        problem = ImplicationProblem(
+            parse_constraints("a => b"), parse_constraint("a.c => b.c")
+        )
+        result = solve(problem)
+        assert result.answer is Trilean.TRUE
+        assert result.method == "word-prefix-rewriting"
+
+    def test_local_extent_routed(self):
+        problem = ImplicationProblem(
+            parse_constraints(
+                "MIT :: book.author => person\nWarner.book :: author ~> wrote"
+            ),
+            parse_constraint("MIT :: book.author => person"),
+        )
+        result = solve(problem)
+        assert result.answer is Trilean.TRUE
+        assert result.method == "local-extent-g1-g2-reduction"
+
+    def test_m_routed_to_typed_decider(self, fs_schema):
+        problem = ImplicationProblem(
+            parse_constraints("sentence.head => subject"),
+            parse_constraint("subject => sentence.head"),
+            context=Context.M,
+            schema=fs_schema,
+        )
+        result = solve(problem)
+        assert result.answer is Trilean.TRUE
+        assert result.complexity == "cubic"
+
+    def test_undecidable_without_semidecision_raises(self):
+        problem = ImplicationProblem(
+            parse_constraints("book :: author ~> wrote"),
+            parse_constraint("person :: wrote ~> author"),
+        )
+        with pytest.raises(UndecidableProblemError):
+            solve(problem, allow_semidecision=False)
+
+    def test_undecidable_semidecision_chase_true(self):
+        sigma = parse_constraints("() => K\nK :: a => b")
+        # K(r, r) by the first constraint; then a => b at the root...
+        problem = ImplicationProblem(sigma, parse_constraint("a => b"))
+        result = solve(problem)
+        assert result.answer is Trilean.TRUE
+        assert "chase" in result.method
+
+    def test_undecidable_semidecision_countermodel(self):
+        problem = ImplicationProblem(
+            parse_constraints("book :: author ~> wrote"),
+            parse_constraint("person :: wrote ~> author"),
+        )
+        result = solve(problem)
+        assert result.answer is Trilean.FALSE
+        assert result.countermodel is not None
+
+    def test_m_plus_chase_true_transfers(self, bib_schema):
+        # An untyped consequence holds a fortiori over U(Delta).
+        sigma = parse_constraints("book.member.author => person")
+        phi = parse_constraint("book.member.author.x => person.x")
+        # x is not a schema path, so craft a real one instead:
+        phi = parse_constraint(
+            "book.member.author.member => person.member"
+        )
+        problem = ImplicationProblem(
+            sigma, phi, context=Context.M_PLUS, schema=bib_schema
+        )
+        result = solve(problem)
+        assert result.answer is Trilean.TRUE
+
+    def test_m_plus_typed_countermodel(self, bib_schema):
+        sigma = parse_constraints("book.member.author => person")
+        phi = parse_constraint("person => book.member.author")
+        problem = ImplicationProblem(
+            sigma, phi, context=Context.M_PLUS, schema=bib_schema
+        )
+        result = solve(problem, typed_search_limit=2000)
+        assert result.answer is Trilean.FALSE
+        assert result.countermodel is not None
+
+    def test_notes_mention_undecidability(self):
+        problem = ImplicationProblem(
+            parse_constraints("book :: author ~> wrote"),
+            parse_constraint("person :: wrote ~> author"),
+        )
+        result = solve(problem)
+        assert any("undecidable" in note for note in result.notes)

@@ -1,0 +1,130 @@
+"""Tests for the U_f(Delta) enumerator, and the semantic
+cross-validation of the typed-M decider it enables (Theorem 4.9)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checking import check
+from repro.checking.engine import satisfies_all
+from repro.constraints import word
+from repro.errors import ModelRestrictionError
+from repro.paths import Path
+from repro.reasoning import TypedImplicationDecider
+from repro.types.enumerate_m import enumerate_m_structures, find_m_countermodel
+from repro.types.examples import chain_m_schema, random_m_schema
+from repro.types.siggen import SchemaSignature
+from repro.types.typecheck import check_type_constraint
+
+
+class TestEnumeration:
+    def test_all_structures_are_typed(self, fs_schema):
+        count = 0
+        for graph in enumerate_m_structures(fs_schema, max_per_class=2, limit=40):
+            report = check_type_constraint(fs_schema, graph)
+            assert report.ok, report.summary()
+            count += 1
+        # Reachability filtering may exhaust the space below the limit.
+        assert 0 < count <= 40
+
+    def test_rejects_m_plus_schema(self, bib_schema):
+        with pytest.raises(ModelRestrictionError):
+            next(enumerate_m_structures(bib_schema))
+
+    def test_structures_are_deterministic_and_total(self, fs_schema):
+        signature = SchemaSignature(fs_schema)
+        for graph in enumerate_m_structures(fs_schema, max_per_class=2, limit=20):
+            assert graph.is_deterministic()
+            # Lemma 4.6: every valid path reaches exactly one node.
+            for path in signature.sample_paths(3):
+                assert len(graph.eval_path(path)) == 1
+
+    def test_chain_schema_enumeration(self):
+        schema = chain_m_schema(2)
+        graphs = list(enumerate_m_structures(schema, max_per_class=1))
+        # One node per class, all edges forced: exactly one structure.
+        assert len(graphs) == 1
+        assert check_type_constraint(schema, graphs[0]).ok
+
+    def test_limit_respected(self, fs_schema):
+        assert len(list(enumerate_m_structures(fs_schema, limit=7))) == 7
+
+    def test_distinct_structures(self, fs_schema):
+        seen = set()
+        for graph in enumerate_m_structures(fs_schema, max_per_class=2, limit=30):
+            key = (frozenset(graph.nodes), frozenset(graph.edges()))
+            assert key not in seen
+            seen.add(key)
+
+
+class TestTheorem49CrossValidation:
+    """Soundness and (bounded) completeness of the typed decider
+    against brute-force enumeration of U_f(Delta)."""
+
+    def _random_instance(self, seed: int):
+        rng = random.Random(seed)
+        schema = random_m_schema(rng.randint(1, 2), 2, seed=seed)
+        signature = SchemaSignature(schema)
+        paths = [p for p in signature.sample_paths(3) if not p.is_empty()]
+        by_sort: dict[object, list[Path]] = {}
+        for path in paths:
+            by_sort.setdefault(signature.type_of_path(path), []).append(path)
+        pools = [g for g in by_sort.values() if len(g) >= 2]
+        if not pools:
+            return None
+        def pick():
+            group = rng.choice(pools)
+            left, right = rng.sample(group, 2)
+            return word(left, right)
+        sigma = [pick() for _ in range(rng.randint(0, 2))]
+        phi = pick()
+        return schema, sigma, phi
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_sound_and_boundedly_complete(self, seed):
+        instance = self._random_instance(seed)
+        if instance is None:
+            return
+        schema, sigma, phi = instance
+        decider = TypedImplicationDecider(schema, sigma)
+        implied = decider.implies(phi)
+        if implied:
+            # Soundness: every enumerated model of Sigma satisfies phi.
+            for graph in enumerate_m_structures(
+                schema, max_per_class=2, limit=200
+            ):
+                if satisfies_all(graph, sigma):
+                    assert check(graph, phi).holds, (
+                        f"seed={seed} sigma={list(map(str, sigma))} phi={phi}"
+                    )
+        else:
+            # Completeness evidence: a bounded counter-model usually
+            # exists; when found it must be genuine.
+            counter = find_m_countermodel(
+                schema, sigma, phi, max_per_class=2, limit=2000
+            )
+            if counter is not None:
+                assert satisfies_all(counter, sigma)
+                assert not check(counter, phi).holds
+
+    def test_known_false_has_countermodel(self, fs_schema):
+        sigma = [word("sentence.head", "subject")]
+        phi = word("sentence", "subject")
+        counter = find_m_countermodel(fs_schema, sigma, phi, max_per_class=2)
+        assert counter is not None
+        assert check_type_constraint(fs_schema, counter).ok
+
+    def test_known_true_has_no_countermodel(self, fs_schema):
+        sigma = [word("sentence.head", "subject")]
+        phi = word("subject", "sentence.head")
+        assert (
+            find_m_countermodel(
+                fs_schema, sigma, phi, max_per_class=2, limit=5000
+            )
+            is None
+        )

@@ -1,0 +1,290 @@
+"""Tests for sigma-structures: construction, navigation, surgery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, UnknownNodeError
+from repro.graph import Graph, Signature, from_nested_dict, random_graph
+from repro.graph.builders import line_graph, penn_bib_with_locals, scaled_bibliography
+from repro.graph.serialize import from_dict, to_dict, to_dot
+from repro.paths import Path
+
+
+class TestSignature:
+    def test_membership(self):
+        sig = Signature(["a", "b"])
+        assert "a" in sig
+        assert "c" not in sig
+        assert len(sig) == 2
+
+    def test_validate_path(self):
+        sig = Signature(["a", "b"])
+        assert sig.validate_path("a.b") == Path.parse("a.b")
+        with pytest.raises(GraphError):
+            sig.validate_path("a.c")
+
+    def test_extend_and_union(self):
+        sig = Signature(["a"]).extend(["b"])
+        assert set(sig.labels) == {"a", "b"}
+        merged = Signature.union(Signature(["a"]), Signature(["c"]))
+        assert set(merged.labels) == {"a", "c"}
+
+    def test_equality(self):
+        assert Signature(["a", "b"]) == Signature(["b", "a"])
+
+
+class TestGraphBasics:
+    def test_root_exists(self):
+        g = Graph(root="r")
+        assert g.has_node("r")
+        assert g.root == "r"
+
+    def test_add_edge_creates_nodes(self):
+        g = Graph(root="r")
+        g.add_edge("r", "a", "n")
+        assert g.has_node("n")
+        assert g.has_edge("r", "a", "n")
+        assert g.edge_count() == 1
+
+    def test_duplicate_edge_idempotent(self):
+        g = Graph(root="r")
+        g.add_edge("r", "a", "n")
+        g.add_edge("r", "a", "n")
+        assert g.edge_count() == 1
+
+    def test_fresh_nodes_distinct(self):
+        g = Graph(root=0)
+        names = {g.add_node() for _ in range(10)}
+        assert len(names) == 10
+
+    def test_remove_edge(self):
+        g = Graph(root="r")
+        g.add_edge("r", "a", "n")
+        g.remove_edge("r", "a", "n")
+        assert not g.has_edge("r", "a", "n")
+        with pytest.raises(GraphError):
+            g.remove_edge("r", "a", "n")
+
+    def test_unknown_node_errors(self):
+        g = Graph(root="r")
+        with pytest.raises(UnknownNodeError):
+            g.successors("ghost", "a")
+
+    def test_labels_reflect_edges(self):
+        g = Graph(root="r")
+        g.add_edge("r", "a", "x")
+        g.add_edge("x", "b", "r")
+        assert g.labels() == frozenset({"a", "b"})
+
+    def test_sorts(self):
+        g = Graph(root="r")
+        g.add_node("n", sort="Book")
+        assert g.sort_of("n") == "Book"
+        assert g.sort_of("r") is None
+        assert g.nodes_of_sort("Book") == frozenset({"n"})
+
+
+class TestPathEvaluation:
+    def test_empty_path_is_identity(self):
+        g = Graph(root="r")
+        assert g.eval_path("") == frozenset({"r"})
+
+    def test_eval_forward(self, fig1):
+        assert fig1.eval_path("book.author") == frozenset(
+            {"person1", "person2"}
+        )
+
+    def test_eval_from_start(self, fig1):
+        assert fig1.eval_path("author", start="book2") == frozenset(
+            {"person1", "person2"}
+        )
+
+    def test_eval_backward(self, fig1):
+        assert fig1.eval_path_backward("book.author", "person1") == frozenset(
+            {"r"}
+        )
+        assert fig1.eval_path_backward("author", "person1") == frozenset(
+            {"book1", "book2"}
+        )
+
+    def test_eval_dead_path(self, fig1):
+        assert fig1.eval_path("book.nonexistent") == frozenset()
+
+    def test_satisfies_path(self, fig1):
+        assert fig1.satisfies_path("author", "book1", "person1")
+        assert not fig1.satisfies_path("author", "book1", "person2")
+
+    def test_eval_path_from_set(self, fig1):
+        out = fig1.eval_path_from_set("author", ["book1", "book3"])
+        assert out == frozenset({"person1", "person2"})
+
+    def test_reachable(self):
+        g = Graph(root="r")
+        g.add_edge("r", "a", "x")
+        g.add_node("island")
+        assert g.reachable() == frozenset({"r", "x"})
+
+    def test_forward_backward_agree(self, fig1):
+        path = Path.parse("person.wrote.ref")
+        forward = {
+            (x, y)
+            for x in [fig1.root]
+            for y in fig1.eval_path(path)
+        }
+        backward = {
+            (x, y)
+            for y in fig1.nodes
+            for x in fig1.eval_path_backward(path, y)
+            if x == fig1.root
+        }
+        assert forward == backward
+
+
+class TestSurgery:
+    def test_add_path_fresh(self):
+        g = Graph(root="r")
+        end = g.add_path("r", "a.b.c")
+        assert g.eval_path("a.b.c") == frozenset({end})
+
+    def test_add_path_to_target(self):
+        g = Graph(root="r")
+        g.add_node("t")
+        end = g.add_path("r", "a.b", dst="t")
+        assert end == "t"
+        assert g.eval_path("a.b") == frozenset({"t"})
+
+    def test_add_empty_path(self):
+        g = Graph(root="r")
+        assert g.add_path("r", "") == "r"
+        with pytest.raises(GraphError):
+            g.add_node("x")
+            g.add_path("r", "", dst="x")
+
+    def test_merge_nodes(self):
+        g = Graph(root="r")
+        g.add_edge("r", "a", "x")
+        g.add_edge("r", "b", "y")
+        g.add_edge("y", "c", "y")
+        g.merge_nodes("x", "y")
+        assert not g.has_node("y")
+        assert g.eval_path("b") == frozenset({"x"})
+        assert g.eval_path("b.c") == frozenset({"x"})  # self-loop remapped
+
+    def test_merge_preserves_root(self):
+        g = Graph(root="r")
+        g.add_edge("r", "a", "x")
+        with pytest.raises(GraphError):
+            g.merge_nodes("x", "r")
+
+    def test_merge_conflicting_sorts(self):
+        g = Graph(root="r")
+        g.add_node("x", sort="A")
+        g.add_node("y", sort="B")
+        with pytest.raises(GraphError):
+            g.merge_nodes("x", "y")
+
+    def test_quotient(self):
+        g = Graph(root=0)
+        g.add_edge(0, "a", 1)
+        g.add_edge(0, "a", 2)
+        g.add_edge(1, "b", 3)
+        q = g.quotient([[1, 2]])
+        assert q.node_count() == g.node_count() - 1
+        assert len(q.eval_path("a")) == 1
+        assert len(q.eval_path("a.b")) == 1
+
+    def test_copy_independent(self, fig1):
+        clone = fig1.copy()
+        assert clone.same_structure(fig1)
+        clone.add_edge("r", "extra", "new")
+        assert not clone.same_structure(fig1)
+
+    def test_rerooted(self, fig1):
+        g2 = fig1.rerooted("book1")
+        assert g2.root == "book1"
+        assert g2.eval_path("author") == frozenset({"person1"})
+
+
+class TestBuilders:
+    def test_figure1_inverse_edges(self, fig1):
+        # Every author edge has a wrote edge back (Figure 1's shape).
+        for book in fig1.eval_path("book"):
+            for person in fig1.eval_path("author", start=book):
+                assert fig1.has_edge(person, "wrote", book)
+
+    def test_figure1_counts(self, fig1):
+        assert len(fig1.eval_path("book")) == 3
+        assert len(fig1.eval_path("person")) == 2
+        assert len(fig1.eval_path("book.ref")) == 1
+
+    def test_penn_bib_locals(self, penn_bib):
+        assert len(penn_bib.eval_path("MIT")) == 1
+        assert len(penn_bib.eval_path("Warner.book.author")) == 1
+
+    def test_from_nested_dict(self):
+        g = from_nested_dict(
+            {"book": [{"title": "A"}, {"title": "B"}], "person": {"name": "N"}}
+        )
+        assert len(g.eval_path("book")) == 2
+        assert len(g.eval_path("book.title")) == 2
+        assert len(g.eval_path("person.name")) == 1
+
+    def test_line_graph(self):
+        g = line_graph(["a", "b", "c"])
+        assert len(g.eval_path("a.b.c")) == 1
+        assert g.node_count() == 4
+
+    def test_random_graph_deterministic(self):
+        g1 = random_graph(10, ["a", "b"], seed=7)
+        g2 = random_graph(10, ["a", "b"], seed=7)
+        assert g1.same_structure(g2)
+        g3 = random_graph(10, ["a", "b"], seed=8)
+        assert not g1.same_structure(g3)
+
+    def test_random_graph_connected(self):
+        g = random_graph(20, ["a"], edge_probability=0.0, seed=1)
+        assert g.reachable() == g.nodes
+
+    def test_scaled_bibliography_inverse(self):
+        g = scaled_bibliography(20, 8, seed=3)
+        for book in g.eval_path("book"):
+            for person in g.eval_path("author", start=book):
+                assert g.has_edge(person, "wrote", book)
+
+
+class TestSerialization:
+    def test_roundtrip(self, fig1):
+        assert from_dict(to_dict(fig1)).same_structure(fig1)
+
+    def test_roundtrip_with_sorts(self):
+        g = Graph(root="r")
+        g.add_edge("r", "a", "x")
+        g.set_sort("x", "Book")
+        assert from_dict(to_dict(g)).same_structure(g)
+
+    def test_rejects_unserializable_nodes(self):
+        g = Graph(root=("tuple", "node"))
+        with pytest.raises(GraphError):
+            to_dict(g)
+
+    def test_dot_output(self, fig1):
+        dot = to_dot(fig1)
+        assert dot.startswith("digraph")
+        assert '"book1" -> "person1" [label="author"]' in dot
+
+
+@given(st.integers(2, 12), st.integers(0, 2 ** 30))
+def test_random_graph_eval_consistency(n, seed):
+    """Forward and backward path evaluation agree on random graphs."""
+    g = random_graph(n, ["a", "b"], seed=seed)
+    path = Path.parse("a.b")
+    forward_pairs = {
+        (x, y) for x in g.nodes for y in g.eval_path(path, start=x)
+    }
+    backward_pairs = {
+        (x, y) for y in g.nodes for x in g.eval_path_backward(path, y)
+    }
+    assert forward_pairs == backward_pairs

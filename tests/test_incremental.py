@@ -1,0 +1,115 @@
+"""Tests for the incremental integrity checker.
+
+The defining property: after any sequence of edge insertions, the
+incremental violation set equals a from-scratch revalidation — checked
+on hand-built scenarios and on randomized insertion traces.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checking import IncrementalChecker
+from repro.constraints import parse_constraints
+from repro.graph import Graph
+
+
+SIGMA = parse_constraints(
+    """
+    book :: author ~> wrote
+    book.author => person
+    person.wrote => book
+    """
+)
+
+
+class TestScenario:
+    def test_starts_consistent(self):
+        checker = IncrementalChecker(Graph(root="r"), SIGMA)
+        assert checker.ok
+        assert checker.current_violations() == {}
+
+    def test_violation_appears_and_heals(self):
+        g = Graph(root="r")
+        checker = IncrementalChecker(g, SIGMA)
+        checker.add_edge("r", "book", "b")
+        assert checker.ok
+        checker.add_edge("b", "author", "p")
+        # Two violations now: no inverse wrote edge, p not a person.
+        assert not checker.ok
+        assert len(checker.current_violations()) == 2
+        checker.add_edge("p", "wrote", "b")
+        checker.add_edge("r", "person", "p")
+        assert checker.ok, checker.current_violations()
+        assert checker.revalidate()
+
+    def test_unrelated_labels_do_no_work(self):
+        g = Graph(root="r")
+        checker = IncrementalChecker(g, SIGMA)
+        before = checker.recheck_count
+        for i in range(20):
+            checker.add_edge("r", "misc", i)
+        assert checker.recheck_count == before  # no constraint mentions misc
+        assert checker.ok
+
+    def test_backward_constraint_repair(self):
+        g = Graph(root="r")
+        checker = IncrementalChecker(g, SIGMA)
+        checker.add_edge("r", "book", "b")
+        checker.add_edge("b", "author", "p")
+        assert not checker.ok
+        checker.add_edge("p", "wrote", "b")  # repairs the inverse
+        bad = checker.current_violations()
+        assert all(
+            not c.is_backward() for c in bad
+        ), "inverse constraint should be repaired"
+
+    def test_matches_full_revalidation_on_figure1_build(self, fig1):
+        # Rebuild Figure 1 edge by edge through the checker.
+        g = Graph(root="r")
+        checker = IncrementalChecker(g, SIGMA)
+        for src, label, dst in sorted(fig1.edges(), key=repr):
+            checker.add_edge(src, label, dst)
+            # revalidate() compares incremental state against a fresh
+            # batch run (and syncs); it must match after every insert.
+            assert checker.revalidate()
+        assert checker.ok
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.integers(5, 40))
+def test_incremental_equals_batch_on_random_traces(seed, steps):
+    """Random insertion traces: the incremental set must equal the
+    from-scratch one after every insertion."""
+    rng = random.Random(seed)
+    labels = ["book", "author", "wrote", "person", "ref"]
+    g = Graph(root="r", nodes=range(6))
+    checker = IncrementalChecker(g, SIGMA)
+    for _ in range(steps):
+        src = rng.choice(["r", 0, 1, 2, 3, 4, 5])
+        dst = rng.choice(["r", 0, 1, 2, 3, 4, 5])
+        label = rng.choice(labels)
+        if g.has_edge(src, label, dst):
+            continue
+        checker.add_edge(src, label, dst)
+    incremental = checker.current_violations()
+    assert checker.revalidate(), (
+        f"incremental {incremental} diverged from batch after trace "
+        f"seed={seed}"
+    )
+
+
+@pytest.mark.parametrize("label", ["book", "author", "person", "wrote"])
+def test_single_edge_kinds_consistent(label):
+    """Each constraint-relevant label inserted in isolation keeps the
+    incremental state equal to batch."""
+    g = Graph(root="r")
+    g.add_edge("r", "book", "b")
+    g.add_edge("b", "author", "p")
+    checker = IncrementalChecker(g, SIGMA)
+    checker.add_edge("r" if label in ("book", "person") else "p", label, "x")
+    assert checker.revalidate()

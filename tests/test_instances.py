@@ -1,0 +1,288 @@
+"""Tests for typed instances and the Lemma 3.1 abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import parse_constraint
+from repro.errors import InstanceError
+from repro.paths import Path
+from repro.types import MEMBERSHIP_LABEL, Schema
+from repro.types.examples import example_3_1_schema, feature_structure_schema
+from repro.types.instances import Instance, Oid, enumerate_instances
+from repro.types.typecheck import check_type_constraint
+
+M = MEMBERSHIP_LABEL
+
+
+@pytest.fixture
+def bib_instance(bib_schema):
+    """Two books, two persons, inverse author/wrote values."""
+    b1, b2 = Oid("b1"), Oid("b2")
+    p1, p2 = Oid("p1"), Oid("p2")
+    return Instance(
+        bib_schema,
+        oids={"Book": {b1, b2}, "Person": {p1, p2}},
+        values={
+            b1: {
+                "title": "Foundations",
+                "ISBN": "111",
+                "year": frozenset({1995}),
+                "ref": frozenset({b2}),
+                "author": frozenset({p1}),
+            },
+            b2: {
+                "title": "Semistructured",
+                "ISBN": "222",
+                "year": frozenset(),
+                "ref": frozenset(),
+                "author": frozenset({p1, p2}),
+            },
+            p1: {
+                "name": "Ada",
+                "SSN": "s1",
+                "age": frozenset({36}),
+                "wrote": frozenset({b1, b2}),
+            },
+            p2: {
+                "name": "Bob",
+                "SSN": "s2",
+                "age": frozenset(),
+                "wrote": frozenset({b2}),
+            },
+        },
+        entry={"person": frozenset({p1, p2}), "book": frozenset({b1, b2})},
+    )
+
+
+class TestOid:
+    def test_identity(self):
+        assert Oid("x") == Oid("x")
+        assert Oid("x") != Oid("y")
+        assert Oid("x") != "x"
+        assert len({Oid("x"), Oid("x")}) == 1
+
+
+class TestValidation:
+    def test_valid_instance(self, bib_instance):
+        bib_instance.validate()
+
+    def test_missing_value(self, bib_schema):
+        b = Oid("b")
+        inst = Instance(
+            bib_schema, oids={"Book": {b}}, values={}, entry={
+                "person": frozenset(), "book": frozenset()}
+        )
+        with pytest.raises(InstanceError, match="no value"):
+            inst.validate()
+
+    def test_oid_in_two_classes(self, bib_schema):
+        x = Oid("x")
+        inst = Instance(
+            bib_schema,
+            oids={"Book": {x}, "Person": {x}},
+            values={x: {}},
+            entry={"person": frozenset(), "book": frozenset()},
+        )
+        with pytest.raises(InstanceError, match="both"):
+            inst.validate()
+
+    def test_wrong_atom_type(self, bib_schema):
+        b = Oid("b")
+        inst = Instance(
+            bib_schema,
+            oids={"Book": {b}},
+            values={
+                b: {
+                    "title": 42,  # should be a string
+                    "ISBN": "i",
+                    "year": frozenset(),
+                    "ref": frozenset(),
+                    "author": frozenset(),
+                }
+            },
+            entry={"person": frozenset(), "book": frozenset({b})},
+        )
+        with pytest.raises(InstanceError, match="not a string"):
+            inst.validate()
+
+    def test_bool_is_not_int(self, bib_schema):
+        b = Oid("b")
+        inst = Instance(
+            bib_schema,
+            oids={"Book": {b}},
+            values={
+                b: {
+                    "title": "t",
+                    "ISBN": "i",
+                    "year": frozenset({True}),
+                    "ref": frozenset(),
+                    "author": frozenset(),
+                }
+            },
+            entry={"person": frozenset(), "book": frozenset({b})},
+        )
+        with pytest.raises(InstanceError):
+            inst.validate()
+
+    def test_record_label_mismatch(self, bib_schema):
+        b = Oid("b")
+        inst = Instance(
+            bib_schema,
+            oids={"Book": {b}},
+            values={b: {"title": "t"}},
+            entry={"person": frozenset(), "book": frozenset({b})},
+        )
+        with pytest.raises(InstanceError, match="labels"):
+            inst.validate()
+
+    def test_foreign_oid_in_set(self, bib_schema):
+        b = Oid("b")
+        ghost = Oid("ghost")
+        inst = Instance(
+            bib_schema,
+            oids={"Book": {b}},
+            values={
+                b: {
+                    "title": "t",
+                    "ISBN": "i",
+                    "year": frozenset(),
+                    "ref": frozenset({ghost}),
+                    "author": frozenset(),
+                }
+            },
+            entry={"person": frozenset(), "book": frozenset({b})},
+        )
+        with pytest.raises(InstanceError):
+            inst.validate()
+
+    def test_class_of(self, bib_instance):
+        assert bib_instance.class_of(Oid("b1")) == "Book"
+        with pytest.raises(InstanceError):
+            bib_instance.class_of(Oid("nope"))
+
+
+class TestAbstraction:
+    """Lemma 3.1: instances and their graphs agree."""
+
+    def test_graph_satisfies_type_constraint(self, bib_schema, bib_instance):
+        graph = bib_instance.to_graph()
+        report = check_type_constraint(bib_schema, graph)
+        assert report.ok, report.summary()
+
+    def test_path_evaluation_agrees(self, bib_instance):
+        graph = bib_instance.to_graph()
+        for text in [
+            "",
+            "book",
+            f"book.{M}",
+            f"book.{M}.title",
+            f"book.{M}.author.{M}.name",
+            f"book.{M}.ref.{M}.author.{M}",
+            f"person.{M}.wrote.{M}.title",
+            "person",
+            f"book.{M}.year.{M}",
+        ]:
+            path = Path.parse(text)
+            assert bib_instance.eval_path(path) == graph.eval_path(path), text
+
+    def test_constraint_satisfaction_through_abstraction(self, bib_instance):
+        # Inverse constraints hold in the instance (author/wrote were
+        # built inverse).
+        inv1 = parse_constraint(f"book.{M} :: author.{M} ~> wrote.{M}")
+        inv2 = parse_constraint(f"person.{M} :: wrote.{M} ~> author.{M}")
+        assert bib_instance.satisfies(inv1)
+        assert bib_instance.satisfies(inv2)
+        # Extent constraints too (membership hops on both sides: the
+        # authors of any book are members of the person extent).
+        assert bib_instance.satisfies(
+            parse_constraint(f"book.{M}.author.{M} => person.{M}")
+        )
+        # And a false one is false.
+        assert not bib_instance.satisfies(
+            parse_constraint(f"book.{M}.ref.{M} => person.{M}")
+        )
+
+    def test_empty_sets_are_merged_extensionally(self, bib_instance):
+        graph = bib_instance.to_graph()
+        # b2.year and p2.age are both empty {int} sets -> same node.
+        year_nodes = graph.eval_path_from_set(
+            "year", graph.eval_path(f"book.{M}")
+        )
+        age_nodes = graph.eval_path_from_set(
+            "age", graph.eval_path(f"person.{M}")
+        )
+        empty_int_sets = {
+            node
+            for node in year_nodes | age_nodes
+            if not graph.successors(node, M)
+        }
+        assert len(empty_int_sets) == 1
+
+    def test_shared_atoms_are_merged(self, bib_schema):
+        b1, b2 = Oid("b1"), Oid("b2")
+        inst = Instance(
+            bib_schema,
+            oids={"Book": {b1, b2}},
+            values={
+                b1: {"title": "same", "ISBN": "1", "year": frozenset(),
+                     "ref": frozenset(), "author": frozenset()},
+                b2: {"title": "same", "ISBN": "2", "year": frozenset(),
+                     "ref": frozenset(), "author": frozenset()},
+            },
+            entry={"person": frozenset(), "book": frozenset({b1, b2})},
+        )
+        graph = inst.to_graph()
+        titles = graph.eval_path_from_set("title", graph.eval_path(f"book.{M}"))
+        assert len(titles) == 1  # extensional atom node
+
+    def test_oids_keep_identity(self, bib_schema):
+        # Two distinct books with identical values stay distinct nodes.
+        b1, b2 = Oid("b1"), Oid("b2")
+        same = {
+            "title": "t", "ISBN": "i", "year": frozenset(),
+            "ref": frozenset(), "author": frozenset(),
+        }
+        inst = Instance(
+            bib_schema,
+            oids={"Book": {b1, b2}},
+            values={b1: dict(same), b2: dict(same)},
+            entry={"person": frozenset(), "book": frozenset({b1, b2})},
+        )
+        graph = inst.to_graph()
+        assert len(graph.eval_path(f"book.{M}")) == 2
+
+    def test_unreachable_oids_still_in_graph(self, bib_schema):
+        b = Oid("b")
+        inst = Instance(
+            bib_schema,
+            oids={"Book": {b}},
+            values={b: {"title": "t", "ISBN": "i", "year": frozenset(),
+                        "ref": frozenset(), "author": frozenset()}},
+            entry={"person": frozenset(), "book": frozenset()},  # b not linked
+        )
+        inst.validate()
+        graph = inst.to_graph()
+        assert ("oid", "b") in graph.nodes
+        assert graph.eval_path(f"book.{M}") == frozenset()
+
+
+class TestEnumeration:
+    def test_enumerated_instances_validate_and_typecheck(self, fs_schema):
+        count = 0
+        for instance in enumerate_instances(fs_schema, max_oids=1, limit=20):
+            instance.validate()
+            report = check_type_constraint(fs_schema, instance.to_graph())
+            assert report.ok, report.summary()
+            count += 1
+        assert count > 0
+
+    def test_enumeration_respects_limit(self, bib_schema):
+        out = list(enumerate_instances(bib_schema, max_oids=1, limit=5))
+        assert len(out) == 5
+
+    def test_enumeration_lemma31_agreement(self, fs_schema):
+        for instance in enumerate_instances(fs_schema, max_oids=2, limit=10):
+            graph = instance.to_graph()
+            for path in ["sentence", "sentence.head", "subject.agreement.number"]:
+                assert instance.eval_path(path) == graph.eval_path(path)

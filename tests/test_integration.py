@@ -1,0 +1,208 @@
+"""End-to-end scenarios straight from the paper's narrative.
+
+Each test walks one of the paper's stories through the public API:
+the Penn-bib database with its constraints (Sections 1-2), the typed
+Example 3.1 pipeline (XML-Data text -> M+ schema -> instance -> graph
+-> checking), and the two headline interaction results exercised
+through the dispatcher.
+"""
+
+from __future__ import annotations
+
+from repro import Graph, parse_constraint, parse_constraints
+from repro.checking import check_all
+from repro.constraints.classes import is_prefix_bounded_set
+from repro.paths import EPSILON
+from repro.reasoning import (
+    Context,
+    ImplicationProblem,
+    ProblemClass,
+    classify,
+    implies_local_extent,
+    solve,
+)
+from repro.reductions import encode_mplus, encode_pwk, figure2_structure, figure4_structure
+from repro.monoids import MonoidPresentation
+from repro.monoids.finite import find_separating_homomorphism
+from repro.truth import Trilean
+from repro.types.instances import Instance, Oid
+from repro.types.typecheck import check_type_constraint
+from repro.xml import document_to_graph, parse_xml, schema_from_xml_data
+
+
+class TestPennBibStory:
+    """Sections 1 and 2.2 as an executable narrative."""
+
+    def test_database_satisfies_its_constraints(
+        self, penn_bib, section1_constraints
+    ):
+        assert check_all(penn_bib, section1_constraints).ok
+
+    def test_phi0_question(self, penn_bib):
+        """Section 2.2's instance: does Sigma_0 imply phi_0?"""
+        sigma0 = parse_constraints(
+            """
+            MIT :: book.author => person
+            MIT :: person.wrote => book
+            Warner.book :: author ~> wrote
+            Warner.person :: wrote ~> author
+            """
+        )
+        phi0 = parse_constraint("MIT :: book.ref => book")
+        # The instance is exactly a local-extent implication problem.
+        assert is_prefix_bounded_set(sigma0 + [phi0], EPSILON, "MIT")
+        assert classify(sigma0, phi0) is ProblemClass.LOCAL_EXTENT
+        # Decidable in PTIME (Theorem 5.1) and the answer is "no":
+        result = solve(ImplicationProblem(sigma0, phi0))
+        assert result.decidable and result.complexity == "PTIME"
+        assert result.answer is Trilean.FALSE
+        # A model of Sigma_0 violating phi_0 exists in the wild: take
+        # Penn-bib and add an unmatched MIT ref edge.
+        assert result.answer is Trilean.FALSE
+
+    def test_countermodel_for_phi0_concrete(self, penn_bib):
+        sigma0 = parse_constraints(
+            """
+            MIT :: book.author => person
+            MIT :: person.wrote => book
+            """
+        )
+        phi0 = parse_constraint("MIT :: book.ref => book")
+        mit_root = next(iter(penn_bib.eval_path("MIT")))
+        book = next(iter(penn_bib.eval_path("MIT.book")))
+        rogue = penn_bib.add_edge(book, "ref", "rogue-book")
+        report = check_all(penn_bib, sigma0)
+        assert report.ok
+        from repro.checking import check
+
+        assert not check(penn_bib, phi0).holds
+        assert (mit_root, rogue) in check(penn_bib, phi0).violating_pairs
+
+
+class TestTypedPipeline:
+    """XML-Data text -> M+ schema -> typed instance -> abstraction ->
+    constraint checking, the full Section 3 pipeline."""
+
+    XML_DATA = """
+    <schema>
+      <elementType id="book">
+        <attribute name="author" range="#person"/>
+        <attribute name="ref" range="#book"/>
+        <element type="#title"/>
+      </elementType>
+      <elementType id="person">
+        <attribute name="wrote" range="#book"/>
+        <element type="#name"/>
+      </elementType>
+      <elementType id="title"><string/></elementType>
+      <elementType id="name"><string/></elementType>
+    </schema>
+    """
+
+    def test_full_pipeline(self):
+        schema = schema_from_xml_data(self.XML_DATA)
+        b, p = Oid("b"), Oid("p")
+        instance = Instance(
+            schema,
+            oids={"Book": {b}, "Person": {p}},
+            values={
+                b: {"title": "t", "author": frozenset({p}),
+                    "ref": frozenset()},
+                p: {"name": "n", "wrote": frozenset({b})},
+            },
+            entry={"book": frozenset({b}), "person": frozenset({p})},
+        )
+        instance.validate()
+        graph = instance.to_graph()
+        assert check_type_constraint(schema, graph).ok
+        inverse = parse_constraint(
+            "book.member :: author.member ~> wrote.member"
+        )
+        assert instance.satisfies(inverse)
+
+    def test_document_vs_schema_views_agree(self):
+        """The untyped document graph and the typed instance graph
+        satisfy the same inverse constraint, each in its own path
+        vocabulary."""
+        doc = parse_xml(
+            """
+            <bib>
+              <book id="b" author="p"><title>T</title></book>
+              <person id="p" wrote="b"><name>N</name></person>
+            </bib>
+            """
+        )
+        untyped = document_to_graph(
+            doc, reference_attributes={"author", "wrote"}
+        )
+        from repro.checking import check
+
+        assert check(
+            untyped, parse_constraint("book :: author ~> wrote")
+        ).holds
+
+
+class TestHeadlineResults:
+    """The two interaction theorems, exercised end to end."""
+
+    def test_types_help(self, fs_schema):
+        """Theorem 4.2 direction: a P_c instance that is undecidable-
+        class untyped becomes decidable (and differently answered!)
+        over M."""
+        sigma = parse_constraints("sentence.head => subject")
+        phi = parse_constraint("subject => sentence.head")
+        untyped = solve(ImplicationProblem(sigma, phi))
+        typed = solve(
+            ImplicationProblem(sigma, phi, context=Context.M, schema=fs_schema)
+        )
+        # Untyped: word-constraint implication (PTIME) answers no.
+        assert untyped.answer is Trilean.FALSE
+        # Over M: commutativity applies, answer is yes, in cubic time.
+        assert typed.answer is Trilean.TRUE
+        assert typed.complexity == "cubic"
+
+    def test_types_hurt(self):
+        """Theorem 5.2 direction: a local-extent instance decidable
+        untyped (PTIME, answer no) whose typed counterpart over
+        Delta_1 encodes a word problem whose answer is yes."""
+        pres = MonoidPresentation("uv", [("u.v", "v.u")])
+        enc = encode_mplus(pres)
+        phi = enc.test_constraint("u.v", "v.u")
+        untyped = implies_local_extent(
+            list(enc.sigma), phi, rho=enc.rho, guard=enc.guard
+        )
+        assert untyped.decidable and untyped.answer is Trilean.FALSE
+        # Typed: the dispatcher reports the cell undecidable and the
+        # chase-based semi-decision cannot refute (no typed counter-
+        # model exists for an equal pair).
+        problem = ImplicationProblem(
+            list(enc.sigma), phi, context=Context.M_PLUS, schema=enc.schema
+        )
+        from repro.reasoning import table1_cell
+
+        decidable, _ = table1_cell(
+            classify(list(enc.sigma), phi), problem.context
+        )
+        assert not decidable
+
+    def test_theorem_43_instance(self):
+        """The P_w(K) encoding of a word-problem instance, checked on
+        both sides: separable pair -> Figure 2 counter-model exists;
+        the same structure models every encoded constraint."""
+        pres = MonoidPresentation("uv", [("u.u", "u")])
+        enc = encode_pwk(pres)
+        hom = find_separating_homomorphism(pres, "u", "v")
+        assert hom is not None
+        g = figure2_structure(pres, hom)
+        assert enc.verify_countermodel(g, "u", "v")
+        # And the instance classifies into the undecidable fragment.
+        phi1, _ = enc.test_constraints("u", "v")
+        assert classify(list(enc.sigma), phi1) is ProblemClass.PW_K
+
+    def test_figure4_consistency_with_dispatcher(self):
+        pres = MonoidPresentation("uv", [])
+        enc = encode_mplus(pres)
+        phi = enc.test_constraint("u.v", "v.u")
+        hom = find_separating_homomorphism(pres, "u.v", "v.u")
+        graph = figure4_structure(pres, hom)
+        assert enc.verify_countermodel(graph, "u.v", "v.u")

@@ -1,0 +1,179 @@
+"""Tests for the local-extent decision procedure (Theorem 5.1).
+
+Includes the paper's worked Section 2.2 instance: Sigma_0 (MIT extent
+constraints + Warner inverse constraints) implying phi_0
+(``MIT :: book.ref => book``)... which does NOT follow, while genuine
+consequences of the MIT part do.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import parse_constraint, parse_constraints, word
+from repro.constraints.ast import forward
+from repro.paths import EPSILON, Path
+from repro.reasoning import implies_local_extent
+from repro.reasoning.chase import chase_implication
+from repro.reasoning.local_extent import g1, g2, reduce_to_word_problem
+from repro.truth import Trilean
+
+SIGMA0 = """
+MIT :: book.author => person
+MIT :: person.wrote => book
+Warner.book :: author ~> wrote
+Warner.person :: wrote ~> author
+"""
+
+
+class TestReductionFunctions:
+    def test_g1_strips_rho(self):
+        sigma = parse_constraints("MIT.K :: a => b")
+        out = g1(sigma, "MIT")
+        assert out == [parse_constraint("K :: a => b")]
+
+    def test_g2_yields_word_constraints(self):
+        out = g2([parse_constraint("K :: a.b => c")], "K")
+        assert out == [word("a.b", "c")]
+
+    def test_g2_rejects_unguarded(self):
+        with pytest.raises(ValueError):
+            g2([parse_constraint("J :: a => b")], "K")
+
+    def test_full_reduction_on_sigma0(self):
+        sigma = parse_constraints(SIGMA0)
+        phi = parse_constraint("MIT :: book.ref => book")
+        words, phi2 = reduce_to_word_problem(sigma, phi, EPSILON, "MIT")
+        # Warner constraints are dropped; MIT ones become word
+        # constraints.
+        assert set(words) == {
+            word("book.author", "person"),
+            word("person.wrote", "book"),
+        }
+        assert phi2 == word("book.ref", "book")
+
+    def test_reduction_validates_query_boundedness(self):
+        sigma = parse_constraints(SIGMA0)
+        with pytest.raises(ValueError):
+            reduce_to_word_problem(
+                sigma, parse_constraint("a => b"), EPSILON, "MIT"
+            )
+
+    def test_reduction_validates_sigma(self):
+        bad = parse_constraints("MIT.more :: a => b")
+        with pytest.raises(ValueError):
+            reduce_to_word_problem(
+                bad, parse_constraint("MIT :: x => y"), EPSILON, "MIT"
+            )
+
+
+class TestDecision:
+    def test_phi0_not_implied(self):
+        # Section 2.2 asks whether Sigma_0 implies phi_0; the MIT
+        # extent constraints say nothing about ref, so it does not.
+        result = implies_local_extent(
+            parse_constraints(SIGMA0),
+            parse_constraint("MIT :: book.ref => book"),
+        )
+        assert result.answer is Trilean.FALSE
+        assert result.decidable and result.complexity == "PTIME"
+
+    def test_genuine_consequence_implied(self):
+        result = implies_local_extent(
+            parse_constraints(SIGMA0),
+            parse_constraint("MIT :: book.author.wrote => book"),
+        )
+        assert result.answer is Trilean.TRUE
+
+    def test_bounds_inferred_from_query(self):
+        # No explicit (rho, K): inferred as (epsilon, MIT).
+        result = implies_local_extent(
+            parse_constraints(SIGMA0),
+            parse_constraint("MIT :: book.author.wrote.author => person"),
+        )
+        assert result.answer is Trilean.TRUE
+        assert result.certificate["guard"] == "MIT"
+        assert result.certificate["rho"] == EPSILON
+
+    def test_deep_rho(self):
+        sigma = parse_constraints(
+            """
+            edu.MIT :: book.author => person
+            edu.Stanford :: whatever => person
+            """
+        )
+        result = implies_local_extent(
+            sigma,
+            parse_constraint("edu.MIT :: book.author => person"),
+            rho="edu",
+            guard="MIT",
+        )
+        assert result.answer is Trilean.TRUE
+
+    def test_sigma_r_does_not_interact(self):
+        """Lemma 5.3's punchline: adding arbitrary constraints on other
+        local databases never changes the answer."""
+        base = parse_constraints(
+            """
+            MIT :: book.author => person
+            MIT :: person.wrote => book
+            """
+        )
+        decoys = parse_constraints(
+            """
+            Warner.book :: author ~> wrote
+            Warner :: person.wrote => book
+            Harvard.x :: y => z
+            """
+        )
+        queries = [
+            parse_constraint("MIT :: book.author.wrote => book"),
+            parse_constraint("MIT :: book.ref => book"),
+            parse_constraint("MIT :: person.wrote.author => person"),
+        ]
+        for phi in queries:
+            with_decoys = implies_local_extent(base + decoys, phi)
+            without = implies_local_extent(list(base), phi)
+            assert with_decoys.answer == without.answer
+
+
+class TestAgainstChase:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.sampled_from("ab"), min_size=1, max_size=2),
+                st.lists(st.sampled_from("ab"), min_size=0, max_size=2),
+            ),
+            min_size=0,
+            max_size=3,
+        ),
+        st.lists(st.sampled_from("ab"), min_size=1, max_size=2),
+        st.lists(st.sampled_from("ab"), min_size=0, max_size=2),
+    )
+    def test_agrees_with_chase(self, rules, q_lhs, q_rhs):
+        """Local-extent decisions match the chase semi-decider on the
+        *original* (unreduced) constraints whenever the chase is
+        definite."""
+        guard = "K"
+        sigma = [
+            forward(Path.single(guard), Path(lhs), Path(rhs))
+            for lhs, rhs in rules
+            if lhs  # beta non-empty per Definition 2.3
+        ]
+        phi = forward(Path.single(guard), Path(q_lhs), Path(q_rhs))
+        try:
+            result = implies_local_extent(sigma, phi, rho=EPSILON, guard=guard)
+        except Exception as exc:  # documented escape hatch only
+            from repro.errors import IncompleteFragmentError
+
+            assert isinstance(exc, IncompleteFragmentError)
+            return
+        chased = chase_implication(sigma, phi, max_steps=400)
+        if chased.answer.is_definite:
+            assert chased.answer == result.answer, (
+                [str(c) for c in sigma],
+                str(phi),
+            )

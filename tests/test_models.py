@@ -1,0 +1,88 @@
+"""Tests for bounded counter-model search."""
+
+from __future__ import annotations
+
+from repro.checking import check
+from repro.checking.engine import satisfies_all
+from repro.constraints import parse_constraint, parse_constraints
+from repro.reasoning.models import (
+    all_graphs,
+    find_countermodel,
+    find_typed_countermodel,
+    random_countermodel,
+)
+from repro.types.typecheck import check_type_constraint
+
+
+class TestExhaustiveSearch:
+    def test_all_graphs_count(self):
+        # 2 labels, 2 nodes: 2^(2*4) = 256 graphs.
+        assert sum(1 for _ in all_graphs(2, ["a", "b"])) == 256
+
+    def test_finds_countermodel(self):
+        sigma = parse_constraints("a => b")
+        phi = parse_constraint("b => a")
+        graph = find_countermodel(sigma, phi, max_nodes=2)
+        assert graph is not None
+        assert satisfies_all(graph, sigma)
+        assert not check(graph, phi).holds
+
+    def test_none_for_implied(self):
+        sigma = parse_constraints("a => b")
+        phi = parse_constraint("a.c => b.c")
+        assert find_countermodel(sigma, phi, max_nodes=2) is None
+
+    def test_labels_inferred(self):
+        sigma = parse_constraints("a => b")
+        graph = find_countermodel(sigma, parse_constraint("b => c"))
+        assert graph is not None
+        assert graph.labels() <= {"a", "b", "c"}
+
+    def test_backward_constraint_countermodel(self):
+        sigma = []
+        phi = parse_constraint("p :: a ~> w")
+        graph = find_countermodel(sigma, phi, max_nodes=2)
+        assert graph is not None
+        assert not check(graph, phi).holds
+
+
+class TestRandomSearch:
+    def test_finds_simple_countermodel(self):
+        sigma = parse_constraints("a => b")
+        phi = parse_constraint("b => a")
+        graph = random_countermodel(sigma, phi, ["a", "b"], node_count=3, seed=5)
+        assert graph is not None
+        assert satisfies_all(graph, sigma)
+
+    def test_deterministic_by_seed(self):
+        sigma = parse_constraints("a => b")
+        phi = parse_constraint("b => a")
+        g1 = random_countermodel(sigma, phi, ["a", "b"], 3, seed=5)
+        g2 = random_countermodel(sigma, phi, ["a", "b"], 3, seed=5)
+        assert (g1 is None) == (g2 is None)
+        if g1 is not None:
+            assert g1.same_structure(g2)
+
+
+class TestTypedSearch:
+    def test_typed_countermodel_is_typed(self, fs_schema):
+        sigma = parse_constraints("sentence.head => subject")
+        phi = parse_constraint("sentence => subject")
+        hit = find_typed_countermodel(fs_schema, sigma, phi, max_oids=2)
+        assert hit is not None
+        instance, graph = hit
+        assert check_type_constraint(fs_schema, graph).ok
+        assert satisfies_all(graph, sigma)
+        assert not check(graph, phi).holds
+
+    def test_typed_search_respects_m_semantics(self, fs_schema):
+        # subject => sentence.head IS implied over M by sentence.head
+        # => subject, so no typed counter-model can exist.
+        sigma = parse_constraints("sentence.head => subject")
+        phi = parse_constraint("subject => sentence.head")
+        assert (
+            find_typed_countermodel(
+                fs_schema, sigma, phi, max_oids=2, limit=3000
+            )
+            is None
+        )

@@ -1,0 +1,179 @@
+"""Unit and property tests for the Path word type."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PathSyntaxError
+from repro.paths import EPSILON, Path
+
+labels = st.text(
+    alphabet="abcdxyzK", min_size=1, max_size=4
+)
+paths = st.lists(labels, min_size=0, max_size=6).map(Path)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert Path.empty().is_empty()
+        assert len(Path.empty()) == 0
+        assert Path.empty() is EPSILON
+
+    def test_parse_simple(self):
+        assert Path.parse("book.author").labels == ("book", "author")
+
+    def test_parse_single(self):
+        assert Path.parse("book").labels == ("book",)
+
+    @pytest.mark.parametrize("text", ["", "()", "eps", "epsilon", "  () "])
+    def test_parse_epsilon_spellings(self, text):
+        assert Path.parse(text).is_empty()
+
+    @pytest.mark.parametrize("bad", ["a..b", "a b", ".a", "a.", "a.(b)"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(PathSyntaxError):
+            Path.parse(bad)
+
+    def test_labels_validated(self):
+        with pytest.raises(PathSyntaxError):
+            Path(["ok", "not ok"])
+        with pytest.raises(PathSyntaxError):
+            Path([42])  # type: ignore[list-item]
+
+    def test_coerce(self):
+        p = Path.parse("a.b")
+        assert Path.coerce(p) is p
+        assert Path.coerce("a.b") == p
+        assert Path.coerce(["a", "b"]) == p
+
+    def test_single(self):
+        assert Path.single("K") == Path.parse("K")
+
+
+class TestAlgebra:
+    def test_concat(self):
+        assert Path.parse("a.b") * Path.parse("c") == Path.parse("a.b.c")
+
+    def test_concat_string(self):
+        assert Path.parse("a") * "b.c" == Path.parse("a.b.c")
+
+    def test_concat_identity(self):
+        p = Path.parse("a.b")
+        assert p * EPSILON == p
+        assert EPSILON * p == p
+
+    def test_prepend_append(self):
+        assert Path.parse("b").prepend("a") == Path.parse("a.b")
+        assert Path.parse("a").append("b") == Path.parse("a.b")
+
+    def test_prefix_relation(self):
+        assert Path.parse("a").is_prefix_of("a.b")
+        assert EPSILON.is_prefix_of("a.b")
+        assert Path.parse("a.b").is_prefix_of("a.b")
+        assert not Path.parse("b").is_prefix_of("a.b")
+        assert not Path.parse("a.b.c").is_prefix_of("a.b")
+
+    def test_proper_prefix(self):
+        assert Path.parse("a").is_proper_prefix_of("a.b")
+        assert not Path.parse("a.b").is_proper_prefix_of("a.b")
+
+    def test_strip_prefix(self):
+        assert Path.parse("a.b.c").strip_prefix("a") == Path.parse("b.c")
+        with pytest.raises(ValueError):
+            Path.parse("a.b").strip_prefix("b")
+
+    def test_prefixes_matches_paper_example(self):
+        # Section 2.1: the prefixes of person.wrote.ref are epsilon,
+        # person, person.wrote and the path itself.
+        path = Path.parse("person.wrote.ref")
+        assert list(path.prefixes()) == [
+            EPSILON,
+            Path.parse("person"),
+            Path.parse("person.wrote"),
+            path,
+        ]
+
+    def test_suffixes(self):
+        assert list(Path.parse("a.b").suffixes()) == [
+            Path.parse("a.b"),
+            Path.parse("b"),
+            EPSILON,
+        ]
+
+    def test_first_last(self):
+        p = Path.parse("a.b.c")
+        assert p.first() == "a"
+        assert p.last() == "c"
+        with pytest.raises(IndexError):
+            EPSILON.first()
+        with pytest.raises(IndexError):
+            EPSILON.last()
+
+    def test_slicing(self):
+        p = Path.parse("a.b.c")
+        assert p[:-1] == Path.parse("a.b")
+        assert p[1] == "b"
+
+    def test_alphabet(self):
+        assert Path.parse("a.b.a").alphabet() == frozenset({"a", "b"})
+
+
+class TestOrderingAndHashing:
+    def test_shortlex(self):
+        assert Path.parse("z") < Path.parse("a.a")
+        assert Path.parse("a.a") < Path.parse("a.b")
+        assert EPSILON < Path.parse("a")
+
+    def test_hash_consistency(self):
+        assert hash(Path.parse("a.b")) == hash(Path(["a", "b"]))
+
+    def test_set_membership(self):
+        s = {Path.parse("a"), Path.parse("a.b")}
+        assert Path(["a"]) in s
+
+
+class TestRendering:
+    def test_str_roundtrip(self):
+        for text in ["a", "a.b.c", "()"]:
+            assert str(Path.parse(text)) == text
+
+    def test_formula_empty(self):
+        assert EPSILON.to_formula("x", "y") == "x = y"
+
+    def test_formula_single(self):
+        assert Path.parse("a").to_formula("x", "y") == "a(x, y)"
+
+    def test_formula_nested(self):
+        assert (
+            Path.parse("a.b").to_formula("r", "x")
+            == "exists z1 (a(r, z1) and b(z1, x))"
+        )
+
+
+class TestProperties:
+    @given(paths, paths, paths)
+    def test_concat_associative(self, p, q, r):
+        assert (p * q) * r == p * (q * r)
+
+    @given(paths, paths)
+    def test_concat_length(self, p, q):
+        assert len(p * q) == len(p) + len(q)
+
+    @given(paths)
+    def test_parse_str_roundtrip(self, p):
+        assert Path.parse(str(p)) == p
+
+    @given(paths, paths)
+    def test_prefix_strip_inverse(self, p, q):
+        assert (p * q).strip_prefix(p) == q
+        assert p.is_prefix_of(p * q)
+
+    @given(paths)
+    def test_prefix_count(self, p):
+        assert len(list(p.prefixes())) == len(p) + 1
+
+    @given(paths, paths)
+    def test_shortlex_total(self, p, q):
+        assert (p < q) + (q < p) + (p == q) == 1

@@ -1,0 +1,217 @@
+"""Tests for the prefix-rewriting ``post*`` saturation engine.
+
+The key property: ``derives`` (automaton saturation) agrees with an
+independent breadth-first closure of the one-step relation on every
+instance small enough to close exhaustively.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paths import Path
+from repro.rewriting import PrefixRewriteSystem
+
+labels = st.sampled_from(["a", "b", "c"])
+words = st.lists(labels, min_size=0, max_size=3).map(Path)
+rules = st.lists(st.tuples(words, words), min_size=0, max_size=4)
+
+
+def bfs_reachable(
+    system: PrefixRewriteSystem, source: Path, max_length: int, max_nodes: int = 4000
+) -> set[Path]:
+    """Independent oracle: explicit BFS closure, truncated by length."""
+    seen = {source}
+    queue = deque([source])
+    while queue and len(seen) < max_nodes:
+        word = queue.popleft()
+        for step in system.neighbors(word):
+            if len(step.target) <= max_length and step.target not in seen:
+                seen.add(step.target)
+                queue.append(step.target)
+    return seen
+
+
+class TestBasics:
+    def test_reflexive(self):
+        system = PrefixRewriteSystem([])
+        assert system.derives("a.b", "a.b")
+        assert not system.derives("a", "b")
+
+    def test_single_rule(self):
+        system = PrefixRewriteSystem([("a", "b")])
+        assert system.derives("a", "b")
+        assert system.derives("a.x", "b.x")  # right-congruence
+        assert not system.derives("x.a", "x.b")  # prefix only!
+
+    def test_chained(self):
+        system = PrefixRewriteSystem([("a", "b.c"), ("b.c.d", "e")])
+        assert system.derives("a.d", "e")
+
+    def test_empty_lhs_rule(self):
+        # epsilon => K : every word w rewrites to K.w.
+        system = PrefixRewriteSystem([("", "K")])
+        assert system.derives("a", "K.a")
+        assert system.derives("a", "K.K.a")
+
+    def test_empty_rhs_rule(self):
+        system = PrefixRewriteSystem([("a.b", "")])
+        assert system.derives("a.b.c", "c")
+        assert system.derives("a.b", "")
+
+    def test_growing_rhs_terminates(self):
+        # The post* language is infinite; saturation must still halt.
+        system = PrefixRewriteSystem([("a", "a.a")])
+        assert system.derives("a", Path(["a"] * 30))
+        assert not system.derives("a", "")
+
+    def test_directedness(self):
+        system = PrefixRewriteSystem([("a", "b")])
+        assert not system.derives("b", "a")
+
+    def test_symmetric(self):
+        system = PrefixRewriteSystem([("a", "b")], symmetric=True)
+        assert system.derives("b", "a")
+        assert system.derives("b.x", "a.x")
+
+    def test_inverse(self):
+        system = PrefixRewriteSystem([("a", "b")])
+        assert system.inverse().derives("b", "a")
+
+    def test_alphabet(self):
+        system = PrefixRewriteSystem([("a.b", "c")])
+        assert system.alphabet() == frozenset({"a", "b", "c"})
+
+    def test_cached_automata_reused(self):
+        system = PrefixRewriteSystem([("a", "b")])
+        first = system.post_star_automaton("a.x")
+        second = system.post_star_automaton("a.x")
+        assert first is second
+
+
+class TestWordConstraintExamples:
+    """The bibliography extent constraints as rewriting."""
+
+    def setup_method(self):
+        self.system = PrefixRewriteSystem(
+            [
+                ("book.author", "person"),
+                ("person.wrote", "book"),
+                ("book.ref", "book"),
+            ]
+        )
+
+    def test_author_of_book_is_person(self):
+        assert self.system.derives("book.author", "person")
+
+    def test_transitive_navigation(self):
+        # book.author.wrote -> person.wrote -> book.
+        assert self.system.derives("book.author.wrote", "book")
+
+    def test_ref_chain_collapses(self):
+        assert self.system.derives("book.ref.ref.ref", "book")
+
+    def test_no_unsound_consequence(self):
+        assert not self.system.derives("person", "book.author")
+        assert not self.system.derives("book", "person")
+
+    def test_derivable_words_enumeration(self):
+        out = set(self.system.derivable_words("book.ref.author", max_length=3))
+        assert Path.parse("book.author") in out
+        assert Path.parse("person") in out
+
+
+class TestDerivations:
+    def test_found_and_checked(self):
+        system = PrefixRewriteSystem([("a", "b.c"), ("b.c.d", "e")])
+        steps = system.find_derivation("a.d", "e")
+        assert steps is not None
+        assert system.check_derivation("a.d", "e", steps)
+
+    def test_none_when_unreachable(self):
+        system = PrefixRewriteSystem([("a", "b")])
+        assert system.find_derivation("b", "a") is None
+
+    def test_empty_derivation(self):
+        system = PrefixRewriteSystem([])
+        assert system.find_derivation("x", "x") == []
+
+    def test_checker_rejects_tampering(self):
+        system = PrefixRewriteSystem([("a", "b")])
+        steps = system.find_derivation("a.x", "b.x")
+        assert steps is not None and len(steps) == 1
+        # Wrong suffix.
+        from dataclasses import replace
+
+        bad = [replace(steps[0], suffix=Path.parse("y"))]
+        assert not system.check_derivation("a.x", "b.x", bad)
+        # Wrong rule index.
+        bad = [replace(steps[0], rule_index=5)]
+        assert not system.check_derivation("a.x", "b.x", bad)
+        # Inverted use in a non-symmetric system.
+        bad = [replace(steps[0], inverted=True)]
+        assert not system.check_derivation("a.x", "b.x", bad)
+
+    def test_symmetric_derivation_checked(self):
+        system = PrefixRewriteSystem([("a.b", "c")], symmetric=True)
+        steps = system.find_derivation("c.z", "a.b.z")
+        assert steps is not None
+        assert steps[0].inverted
+        assert system.check_derivation("c.z", "a.b.z", steps)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rules, words, words)
+def test_saturation_agrees_with_bfs(rule_list, source, target):
+    """post* membership == BFS closure membership (both directions of
+    disagreement would be a bug: missing reachability or unsound
+    acceptance)."""
+    system = PrefixRewriteSystem(rule_list)
+    # The BFS oracle is exact for targets within its length bound as
+    # long as intermediate words never need to exceed it; bound it by
+    # the maximum possible one-step growth over a short derivation.
+    max_len = max(len(source), len(target)) + max(
+        (len(r) for _, r in rule_list), default=0
+    ) * 3
+    reachable = bfs_reachable(system, source, max_len)
+    if target in reachable:
+        assert system.derives(source, target)
+    # The converse: anything saturation claims within the BFS horizon
+    # must be BFS-reachable (soundness check on short words).
+    for word in system.derivable_words(source, max_length=2, max_count=30):
+        assert word in bfs_reachable(system, source, max_len + 2), word
+
+
+@settings(max_examples=40, deadline=None)
+@given(rules, words, words)
+def test_symmetric_saturation_is_symmetric(rule_list, source, target):
+    system = PrefixRewriteSystem(rule_list, symmetric=True)
+    assert system.derives(source, target) == system.derives(target, source)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rules, words, words, words)
+def test_right_congruence_property(rule_list, source, target, suffix):
+    """derives(u, v) implies derives(u.z, v.z)."""
+    system = PrefixRewriteSystem(rule_list)
+    if system.derives(source, target):
+        assert system.derives(source.concat(suffix), target.concat(suffix))
+
+
+@settings(max_examples=40, deadline=None)
+@given(rules, words, words)
+def test_derivation_exists_iff_derives(rule_list, source, target):
+    """find_derivation and derives agree on small instances, and the
+    returned derivation always re-checks."""
+    system = PrefixRewriteSystem(rule_list)
+    steps = system.find_derivation(source, target, max_steps=3000)
+    if system.derives(source, target):
+        # The BFS may legitimately give up only on long chains; for
+        # these tiny instances it must succeed.
+        assert steps is not None
+        assert system.check_derivation(source, target, steps)
+    else:
+        assert steps is None

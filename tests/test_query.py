@@ -1,0 +1,157 @@
+"""Tests for regular path queries and the constraint-aware optimizer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import parse_constraints
+from repro.graph import random_graph
+from repro.graph.builders import scaled_bibliography
+from repro.paths import Path
+from repro.query import WordQueryOptimizer, evaluate_rpq, evaluate_word
+from repro.reasoning.chase import chase
+
+
+class TestRPQ:
+    def test_word_query_matches_eval_path(self, fig1):
+        for text in ["book", "book.author", "person.wrote.ref", "nope"]:
+            assert evaluate_word(fig1, text).answers == fig1.eval_path(text)
+
+    def test_star_query(self, fig1):
+        result = evaluate_rpq(fig1, "book.(ref)*")
+        # All books plus everything reachable by ref-chains.
+        assert result.answers == fig1.eval_path("book") | fig1.eval_path(
+            "book.ref"
+        )
+
+    def test_alternation(self, fig1):
+        result = evaluate_rpq(fig1, "book.(author|title)")
+        assert result.answers == fig1.eval_path("book.author") | fig1.eval_path(
+            "book.title"
+        )
+
+    def test_start_override(self, fig1):
+        result = evaluate_rpq(fig1, "author", start="book2")
+        assert result.answers == frozenset({"person1", "person2"})
+
+    def test_statistics_populated(self, fig1):
+        result = evaluate_rpq(fig1, "book.author.wrote")
+        assert result.product_states_visited > 0
+        assert result.edges_traversed > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 10), st.integers(0, 10_000))
+    def test_rpq_star_is_reachability(self, n, seed):
+        g = random_graph(n, ["a"], seed=seed)
+        result = evaluate_rpq(g, "a*")
+        assert result.answers == g.reachable()
+
+
+class TestOptimizer:
+    def sigma(self):
+        return parse_constraints(
+            """
+            book.author => person
+            person.wrote => book
+            book.ref => book
+            """
+        )
+
+    def test_subsumption(self):
+        optimizer = WordQueryOptimizer(self.sigma())
+        assert optimizer.subsumes("book.author", "person")
+        assert not optimizer.subsumes("person", "book.author")
+
+    def test_union_pruning(self):
+        optimizer = WordQueryOptimizer(self.sigma())
+        report = optimizer.optimize_union(
+            ["book.author", "person", "book.author.wrote.author"]
+        )
+        assert report.optimized == (Path.parse("person"),)
+        assert report.branches_saved == 2
+        assert len(report.pruned) == 2
+
+    def test_rewrite_to_shorter_equivalent(self):
+        # With ref collapsing being an equivalence under these two
+        # constraints, long ref chains rewrite to the short form.
+        sigma = parse_constraints("book.ref => book\nbook => book.ref")
+        optimizer = WordQueryOptimizer(sigma)
+        best = optimizer.shortest_equivalent("book.ref.ref.ref")
+        assert best == Path.parse("book")
+
+    def test_no_unsound_rewrite(self):
+        # book.author => person alone is one-directional: person must
+        # NOT be rewritten into book.author or vice versa.
+        optimizer = WordQueryOptimizer(parse_constraints("book.author => person"))
+        assert optimizer.shortest_equivalent("book.author") == Path.parse(
+            "book.author"
+        )
+
+    def test_mutual_subsumption_keeps_one(self):
+        sigma = parse_constraints("a => b\nb => a")
+        optimizer = WordQueryOptimizer(sigma)
+        report = optimizer.optimize_union(["a", "b"], rewrite=False)
+        assert report.optimized == (Path.parse("a"),)
+
+    def test_evaluation_answers_preserved(self):
+        """Soundness end-to-end: on graphs *satisfying* Sigma, the
+        optimized union returns exactly the original answers."""
+        sigma = self.sigma()
+        graph = scaled_bibliography(30, 10, seed=2)
+        # Make sure the graph satisfies Sigma (repair with the chase).
+        graph = chase(graph, sigma, max_steps=10_000).graph
+        optimizer = WordQueryOptimizer(sigma)
+        branches = [
+            "book.author",
+            "person",
+            "book.ref.author",
+            "book.author.wrote.author",
+        ]
+        optimized_answers, _, report = optimizer.evaluate_union(
+            graph, branches, optimize=True
+        )
+        plain_answers, _, _ = optimizer.evaluate_union(
+            graph, branches, optimize=False
+        )
+        assert optimized_answers == plain_answers
+        assert report is not None and report.branches_saved >= 1
+
+    def test_report_accounting(self):
+        optimizer = WordQueryOptimizer(self.sigma())
+        report = optimizer.optimize_union(["book.author", "person"])
+        assert report.labels_saved >= 0
+        assert report.notes
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.lists(st.sampled_from("ab"), min_size=1, max_size=2).map(Path),
+            st.lists(st.sampled_from("ab"), min_size=1, max_size=2).map(Path),
+        ),
+        max_size=2,
+    ),
+    st.lists(
+        st.lists(st.sampled_from("ab"), min_size=1, max_size=3).map(Path),
+        min_size=1,
+        max_size=3,
+    ),
+    st.integers(0, 1000),
+)
+def test_optimizer_sound_on_chased_graphs(rules, branches, seed):
+    """Property: optimize_union never changes answers on any graph that
+    satisfies Sigma."""
+    from repro.constraints import word
+
+    sigma = [word(l, r) for l, r in rules]
+    graph = random_graph(5, ["a", "b"], seed=seed)
+    outcome = chase(graph, sigma, max_steps=300)
+    if not outcome.fixpoint:
+        return  # divergent repair; property only claims chased graphs
+    graph = outcome.graph
+    optimizer = WordQueryOptimizer(sigma)
+    optimized, _, _ = optimizer.evaluate_union(graph, branches, optimize=True)
+    plain, _, _ = optimizer.evaluate_union(graph, branches, optimize=False)
+    assert optimized == plain

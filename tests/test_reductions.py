@@ -1,0 +1,240 @@
+"""Tests for the executable undecidability reductions (Figures 2-4).
+
+These are the checkable halves of Lemmas 4.5 and 5.4 and of the
+Figure 3 step in Lemma 5.3: every counter-model the constructions
+produce is verified against the actual constraint/type semantics, and
+reduction answers are compared with the monoid-side word-problem
+semi-decider across a corpus of presentations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checking import check
+from repro.checking.engine import satisfies_all
+from repro.checking.satisfaction import violations
+from repro.constraints import parse_constraint, word
+from repro.constraints.classes import is_in_pw_k, is_prefix_bounded_set
+from repro.graph import Graph
+from repro.monoids import FiniteMonoid, Homomorphism, MonoidPresentation
+from repro.monoids.finite import find_separating_homomorphism
+from repro.monoids.word_problem import decide_word_problem
+from repro.paths import Path
+from repro.reasoning.chase import chase_implication
+from repro.reasoning.local_extent import implies_local_extent
+from repro.reductions import (
+    attach_prefix,
+    encode_mplus,
+    encode_pwk,
+    figure2_structure,
+    figure3_structure,
+    figure4_structure,
+)
+from repro.truth import Trilean
+from repro.types.typecheck import check_type_constraint
+
+#: A corpus of (presentation, equal-pair, unequal-pair) fixtures.
+CORPUS = [
+    (
+        MonoidPresentation("uv", [("u.v", "v.u")]),  # free commutative
+        ("u.v.u", "u.u.v"),
+        ("u.v", "v.v"),
+    ),
+    (
+        MonoidPresentation("u", [("u.u.u", "")]),  # cyclic Z3
+        ("u.u.u.u", "u"),
+        ("u.u", "u"),
+    ),
+    (
+        MonoidPresentation("uv", [("u.u", "u"), ("v.v", "v")]),  # idempotent
+        ("u.u.v", "u.v"),
+        ("u.v", "v.u"),
+    ),
+    (
+        MonoidPresentation("uv", []),  # free
+        ("u.v", "u.v"),
+        ("u.v", "v.u"),
+    ),
+]
+
+
+class TestPwkEncoding:
+    def test_encoding_is_in_pwk(self, commutative_uv):
+        enc = encode_pwk(commutative_uv)
+        assert all(is_in_pw_k(phi, "K") for phi in enc.sigma)
+        phi1, phi2 = enc.test_constraints("u.v", "v.u")
+        assert is_in_pw_k(phi1, "K") and is_in_pw_k(phi2, "K")
+
+    def test_guard_must_be_fresh(self, commutative_uv):
+        with pytest.raises(ValueError):
+            encode_pwk(commutative_uv, guard="u")
+
+    def test_encoding_shape_matches_paper(self, commutative_uv):
+        enc = encode_pwk(commutative_uv)
+        assert word(Path.empty(), Path.single("K")) in enc.sigma
+        assert word("K.u", "K") in enc.sigma
+        assert word("K.v", "K") in enc.sigma
+        assert parse_constraint("K :: u.v => v.u") in enc.sigma
+        assert parse_constraint("K :: v.u => u.v") in enc.sigma
+        assert len(enc.sigma) == 1 + 2 + 2
+
+    @pytest.mark.parametrize("pres,equal,unequal", CORPUS)
+    def test_figure2_countermodel_for_unequal(self, pres, equal, unequal):
+        hom = find_separating_homomorphism(pres, *unequal)
+        assert hom is not None, "corpus pair should be separable"
+        graph = figure2_structure(pres, hom)
+        enc = encode_pwk(pres)
+        assert enc.verify_countermodel(graph, *unequal)
+
+    @pytest.mark.parametrize("pres,equal,unequal", CORPUS)
+    def test_figure2_models_equal_pairs(self, pres, equal, unequal):
+        """The same structure must NOT violate the test constraints of
+        a provably equal pair (otherwise the encoding would be
+        unsound)."""
+        hom = find_separating_homomorphism(pres, *unequal)
+        graph = figure2_structure(pres, hom)
+        enc = encode_pwk(pres)
+        phi1, phi2 = enc.test_constraints(*equal)
+        assert check(graph, phi1).holds and check(graph, phi2).holds
+
+    def test_figure2_rejects_disrespectful_hom(self, commutative_uv):
+        t2 = FiniteMonoid.transformation(2)
+        bad = None
+        for hom in Homomorphism.enumerate(t2, commutative_uv.alphabet):
+            if not hom.respects(commutative_uv):
+                bad = hom
+                break
+        assert bad is not None
+        with pytest.raises(ValueError):
+            figure2_structure(commutative_uv, bad)
+
+    @pytest.mark.parametrize("pres,equal,unequal", CORPUS)
+    def test_chase_confirms_equal_pairs(self, pres, equal, unequal):
+        """Forward direction of Lemma 4.5 sampled through the chase:
+        when the monoid side PROVES equality, the encoded implication
+        must not be refutable — and on these small instances the chase
+        confirms it positively."""
+        verdict = decide_word_problem(pres, *equal)
+        assert verdict.answer is Trilean.TRUE
+        enc = encode_pwk(pres)
+        phi1, phi2 = enc.test_constraints(*equal)
+        for phi in (phi1, phi2):
+            result = chase_implication(list(enc.sigma), phi, max_steps=3000)
+            assert result.answer is not Trilean.FALSE
+            # All corpus cases happen to converge:
+            assert result.answer is Trilean.TRUE, (str(phi), result.notes)
+
+
+class TestFigure3:
+    def test_structure_shape(self):
+        g = Graph(root=0)
+        g.add_edge(0, "a", 1)
+        h = figure3_structure(g)
+        assert h.root == "rH"
+        assert h.has_edge("rH", "K", "rH")
+        assert ("g", 0) in h.eval_path("K")
+        assert h.eval_path("K.a") == frozenset({("g", 1)})
+
+    def test_h_models_lifted_constraints(self):
+        """The Lemma 5.3 step, executed: a counter-model of the word
+        problem lifts through Figure 3 to a counter-model of the
+        K-guarded problem, with decoy Sigma_r constraints still
+        satisfied vacuously."""
+        sigma2 = [word("a.b", "c")]  # Sigma^2_K
+        phi2 = word("a", "c")  # not implied
+        # A finite model of sigma2 violating phi2:
+        g = Graph(root=0)
+        g.add_edge(0, "a", 1)
+        g.add_edge(1, "b", 2)
+        g.add_edge(0, "c", 2)
+        assert satisfies_all(g, sigma2)
+        assert violations(g, phi2, limit=1)
+
+        h = figure3_structure(g)
+        sigma1_k = [parse_constraint("K :: a.b => c")]
+        sigma1_r = [parse_constraint("Other :: x => y")]
+        phi1 = parse_constraint("K :: a => c")
+        assert satisfies_all(h, sigma1_k + sigma1_r)
+        assert violations(h, phi1, limit=1)
+
+    def test_attach_prefix(self):
+        g = Graph(root=0)
+        g.add_edge(0, "a", 1)
+        wrapped = attach_prefix(g, "MIT.bib")
+        assert len(wrapped.eval_path("MIT.bib.a")) == 1
+        assert wrapped.eval_path("a") == frozenset()
+
+    def test_attach_empty_prefix_is_copy(self):
+        g = Graph(root=0)
+        g.add_edge(0, "a", 1)
+        wrapped = attach_prefix(g, "")
+        assert len(wrapped.eval_path("a")) == 1
+
+
+class TestMplusEncoding:
+    def test_encoding_is_prefix_bounded(self, commutative_uv):
+        enc = encode_mplus(commutative_uv)
+        phi = enc.test_constraint("u.v", "v.u")
+        assert is_prefix_bounded_set(
+            list(enc.sigma) + [phi], enc.rho, enc.guard
+        )
+
+    def test_encoding_shape_matches_paper(self, commutative_uv):
+        enc = encode_mplus(commutative_uv)
+        texts = {str(c) for c in enc.sigma}
+        assert "l.K :: a => b.member" in texts
+        assert "l.K :: b.member.u => b.member" in texts
+        assert "l.K :: b.member.v => b.member" in texts
+        assert "l.b.member :: u.v => v.u" in texts
+        assert "l :: () => K" in texts
+        assert len(enc.sigma) == 5
+
+    def test_paths_valid_in_delta1(self, commutative_uv):
+        from repro.types.siggen import SchemaSignature
+
+        enc = encode_mplus(commutative_uv)
+        sig = SchemaSignature(enc.schema)
+        for phi in enc.sigma:
+            assert sig.is_valid_path(phi.prefix)
+            assert sig.is_valid_path(phi.prefix.concat(phi.lhs))
+            assert sig.is_valid_path(phi.prefix.concat(phi.rhs))
+
+    @pytest.mark.parametrize("pres,equal,unequal", CORPUS)
+    def test_figure4_typed_countermodel(self, pres, equal, unequal):
+        hom = find_separating_homomorphism(pres, *unequal)
+        assert hom is not None
+        graph = figure4_structure(pres, hom)
+        enc = encode_mplus(pres)
+        report = check_type_constraint(enc.schema, graph)
+        assert report.ok, report.summary()
+        assert enc.verify_countermodel(graph, *unequal)
+
+    @pytest.mark.parametrize("pres,equal,unequal", CORPUS)
+    def test_figure4_models_equal_pairs(self, pres, equal, unequal):
+        hom = find_separating_homomorphism(pres, *unequal)
+        graph = figure4_structure(pres, hom)
+        enc = encode_mplus(pres)
+        phi = enc.test_constraint(*equal)
+        assert check(graph, phi).holds
+
+    def test_untyped_vs_typed_divergence(self, commutative_uv):
+        """Theorem 5.2's crux, executed: the *untyped* local-extent
+        decider (which provably ignores Sigma_r) answers FALSE for an
+        equal pair, yet over Delta_1 the implication holds — no typed
+        counter-model exists because Phi(Delta_1) forces the Figure 4
+        shape where the equation constraints bite."""
+        enc = encode_mplus(commutative_uv)
+        phi = enc.test_constraint("u.v", "v.u")  # equal in the monoid
+        untyped = implies_local_extent(
+            list(enc.sigma), phi, rho=enc.rho, guard=enc.guard
+        )
+        assert untyped.answer is Trilean.FALSE
+        # Typed side: every Figure 4 structure from every respecting
+        # homomorphism into the library satisfies phi (sampled check of
+        # Lemma 5.4's forward direction).
+        for monoid in [FiniteMonoid.cyclic(2), FiniteMonoid.transformation(2)]:
+            for hom in Homomorphism.enumerate(monoid, commutative_uv.alphabet):
+                if hom.respects(commutative_uv):
+                    graph = figure4_structure(commutative_uv, hom)
+                    assert check(graph, phi).holds

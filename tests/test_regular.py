@@ -1,0 +1,74 @@
+"""Tests for regular path constraints (the [AV97] comparison language)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import RegularConstraint, check_regular
+from repro.graph import Graph
+
+
+class TestChecking:
+    def test_figure1_regular_constraints(self, fig1):
+        # Authors reachable through any ref-chain are persons.
+        assert check_regular(fig1, "book.(ref)*.author => person").holds
+        # Everything one or more ref hops away is still a book.
+        assert check_regular(fig1, "book.ref+ => book").holds
+        # Not every person co-authored with person1... construct a
+        # violated one:
+        result = check_regular(fig1, "book.(author|title) => person")
+        assert not result.holds
+        assert result.violating_nodes  # the title leaves
+
+    def test_witnesses_are_exact(self, fig1):
+        result = check_regular(fig1, "book.(author|title) => person")
+        assert result.violating_nodes == fig1.eval_path("book.title")
+
+    def test_word_case_agrees_with_pc_semantics(self, fig1):
+        from repro.checking import check
+        from repro.constraints import word
+
+        for lhs, rhs in [("book.author", "person"), ("book.ref", "person")]:
+            regular = RegularConstraint(lhs, rhs).check(fig1).holds
+            pc = check(fig1, word(lhs, rhs)).holds
+            assert regular == pc
+
+    def test_parse(self):
+        c = RegularConstraint.parse(" a.(b|c)* =>  d ")
+        assert c.lhs == "a.(b|c)*"
+        assert c.rhs == "d"
+        with pytest.raises(ValueError):
+            RegularConstraint.parse("a.b.c")
+
+    def test_str(self):
+        assert str(RegularConstraint("a*", "b")) == "a* => b"
+
+
+class TestLanguageContainment:
+    def test_containment_implies_validity_everywhere(self, fig1):
+        c = RegularConstraint("book.ref.ref", "book.(ref)*")
+        assert c.language_containment({"book", "ref"})
+        assert c.check(fig1).holds  # trivially
+
+    def test_containment_is_strictly_stronger(self, fig1):
+        # Valid on Figure 1 but not a language containment.
+        c = RegularConstraint("book.author", "person")
+        assert not c.language_containment({"book", "author", "person"})
+        assert c.check(fig1).holds
+
+    def test_non_containment(self):
+        c = RegularConstraint("a*", "a.a*")
+        assert not c.language_containment({"a"})  # epsilon missing
+        c2 = RegularConstraint("a.a*", "a*")
+        assert c2.language_containment({"a"})
+
+
+class TestOnCycles:
+    def test_star_on_cyclic_graph(self):
+        g = Graph(root="r")
+        g.add_edge("r", "a", "x")
+        g.add_edge("x", "a", "r")
+        result = check_regular(g, "a.a.a.a => a*")
+        assert result.holds
+        assert check_regular(g, "(a.a)* => ()").holds  # even loops hit r
+        assert not check_regular(g, "a* => ()").holds

@@ -1,0 +1,148 @@
+"""Cross-cutting soundness properties, hypothesis-driven.
+
+These tie the proof system, the deciders and the semantics together:
+
+* every rule of I_r that claims untyped soundness preserves truth on
+  arbitrary graphs;
+* every M-only rule preserves truth on structures of U(Delta);
+* decided implications are never refuted by random models of Sigma;
+* the chase never reports a "fixpoint counter-model" that fails Sigma.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checking import check
+from repro.checking.engine import satisfies_all
+from repro.constraints import parse_constraints, word
+from repro.graph import random_graph
+from repro.paths import Path
+from repro.reasoning import WordImplicationDecider
+from repro.reasoning.chase import chase, chase_implication
+from repro.truth import Trilean
+
+labels = st.sampled_from(["a", "b"])
+words_st = st.lists(labels, min_size=0, max_size=3).map(Path)
+nonempty_words = st.lists(labels, min_size=1, max_size=3).map(Path)
+word_constraints = st.builds(word, words_st, nonempty_words)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(word_constraints, max_size=3),
+    word_constraints,
+    st.integers(2, 5),
+    st.integers(0, 10_000),
+)
+def test_decided_implication_never_refuted_by_models(sigma, phi, n, seed):
+    """If the decider says Sigma |= phi, then every random graph
+    satisfying Sigma satisfies phi."""
+    if not WordImplicationDecider(sigma).implies(phi):
+        return
+    graph = random_graph(n, ["a", "b"], edge_probability=0.3, seed=seed)
+    if satisfies_all(graph, sigma):
+        assert check(graph, phi).holds, (
+            f"sigma={list(map(str, sigma))} phi={phi} seed={seed}"
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(word_constraints, max_size=3),
+    st.integers(2, 5),
+    st.integers(0, 10_000),
+)
+def test_chase_fixpoint_models_sigma(sigma, n, seed):
+    """A chase that reaches fixpoint produces a model of Sigma."""
+    graph = random_graph(n, ["a", "b"], edge_probability=0.25, seed=seed)
+    outcome = chase(graph, sigma, max_steps=400)
+    if outcome.fixpoint:
+        assert satisfies_all(outcome.graph, sigma)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(word_constraints, max_size=3), word_constraints)
+def test_chase_false_certificates_check_out(sigma, phi):
+    """FALSE chase answers carry a counter-model that actually models
+    Sigma and violates phi."""
+    result = chase_implication(sigma, phi, max_steps=400)
+    if result.answer is Trilean.FALSE:
+        assert result.countermodel is not None
+        assert satisfies_all(result.countermodel, sigma)
+        assert not check(result.countermodel, phi).holds
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(word_constraints, min_size=1, max_size=3), word_constraints)
+def test_proofs_conclusions_hold_on_models(sigma, phi):
+    """Whatever the proof builder derives holds on every random model
+    of its assumptions (soundness of the untyped rule subset)."""
+    decider = WordImplicationDecider(sigma)
+    proof = decider.prove(phi)
+    if proof is None:
+        return
+    assert proof.uses_only_sound_rules("untyped")
+    for seed in range(3):
+        graph = random_graph(4, ["a", "b"], edge_probability=0.35, seed=seed)
+        if satisfies_all(graph, list(proof.assumptions)):
+            assert check(graph, proof.conclusion).holds
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(word_constraints, max_size=2), words_st, st.integers(1, 3))
+def test_consequences_are_sound(sigma, source, max_length):
+    """Every word in consequences(source) is a semantic consequence:
+    random models of Sigma keep eval(source) inside eval(target)."""
+    decider = WordImplicationDecider(sigma)
+    targets = decider.consequences(source, max_length=max_length, max_count=8)
+    for seed in range(2):
+        graph = random_graph(4, ["a", "b"], edge_probability=0.35, seed=seed)
+        if not satisfies_all(graph, sigma):
+            continue
+        source_nodes = graph.eval_path(source)
+        for target in targets:
+            assert source_nodes <= graph.eval_path(target), (
+                f"sigma={list(map(str, sigma))} {source}=>{target}"
+            )
+
+
+class TestMOnlyRulesSoundOverM:
+    """Commutativity & friends hold on U(Delta) members but can fail on
+    arbitrary graphs — checked concretely."""
+
+    def test_commutativity_fails_untyped(self):
+        from repro.graph import Graph
+
+        g = Graph(root="r")
+        g.add_edge("r", "a", "x")
+        g.add_edge("r", "b", "x")
+        g.add_edge("r", "a", "y")
+        # a => b fails (y), b => a holds; commutativity would be unsound.
+        assert check(g, word("b", "a")).holds
+        assert not check(g, word("a", "b")).holds
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 500))
+    def test_commutativity_holds_on_deterministic_total_graphs(self, seed):
+        """On deterministic, label-total graphs (the shape Phi(Delta)
+        forces over M), word constraints are symmetric — the semantic
+        core of Lemma 4.6."""
+        import random as _random
+
+        rng = _random.Random(seed)
+        n = rng.randint(1, 4)
+        from repro.graph import Graph
+
+        g = Graph(root=0, nodes=range(n))
+        for node in range(n):
+            for label in ("a", "b"):
+                g.add_edge(node, label, rng.randrange(n))
+        for lhs_len in range(3):
+            for rhs_len in range(3):
+                lhs = Path([rng.choice("ab") for _ in range(lhs_len)])
+                rhs = Path([rng.choice("ab") for _ in range(rhs_len)])
+                forward_holds = check(g, word(lhs, rhs)).holds
+                backward_holds = check(g, word(rhs, lhs)).holds
+                assert forward_holds == backward_holds

@@ -1,0 +1,46 @@
+"""Tests for the three-valued Trilean type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.truth import Trilean
+
+T, F, U = Trilean.TRUE, Trilean.FALSE, Trilean.UNKNOWN
+
+
+class TestTrilean:
+    def test_of(self):
+        assert Trilean.of(True) is T
+        assert Trilean.of(False) is F
+
+    def test_to_bool(self):
+        assert T.to_bool() is True
+        assert F.to_bool() is False
+        with pytest.raises(ValueError):
+            U.to_bool()
+
+    def test_is_definite(self):
+        assert T.is_definite and F.is_definite and not U.is_definite
+
+    def test_negation(self):
+        assert ~T is F and ~F is T and ~U is U
+
+    def test_kleene_and(self):
+        assert (T & T) is T
+        assert (T & F) is F
+        assert (F & U) is F  # false dominates
+        assert (T & U) is U
+        assert (U & U) is U
+
+    def test_kleene_or(self):
+        assert (F | F) is F
+        assert (T | U) is T  # true dominates
+        assert (F | U) is U
+        assert (U | U) is U
+
+    def test_de_morgan(self):
+        for a in Trilean:
+            for b in Trilean:
+                assert ~(a & b) is (~a | ~b)
+                assert ~(a | b) is (~a & ~b)

@@ -1,0 +1,215 @@
+"""Tests for the Phi(Delta) type-constraint checker (Section 3.2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph
+from repro.types import (
+    AtomicType,
+    ClassRef,
+    MEMBERSHIP_LABEL,
+    RecordType,
+    Schema,
+    SetType,
+)
+from repro.types.typecheck import check_type_constraint, infer_sorts
+
+M = MEMBERSHIP_LABEL
+STRING = AtomicType("string")
+
+
+@pytest.fixture
+def pair_schema():
+    """DBtype = [left: C, right: C]; C = [tag: string]."""
+    return Schema(
+        {"C": RecordType([("tag", STRING)])},
+        RecordType([("left", ClassRef("C")), ("right", ClassRef("C"))]),
+    )
+
+
+@pytest.fixture
+def set_schema():
+    """DBtype = [items: {C}]; C = [tag: string]."""
+    return Schema(
+        {"C": RecordType([("tag", STRING)])},
+        RecordType([("items", SetType(ClassRef("C")))]),
+    )
+
+
+def good_pair_graph() -> Graph:
+    g = Graph(root="r")
+    g.add_edge("r", "left", "c1")
+    g.add_edge("r", "right", "c2")
+    g.add_edge("c1", "tag", "s1")
+    g.add_edge("c2", "tag", "s2")
+    return g
+
+
+class TestInference:
+    def test_infers_from_root(self, pair_schema):
+        g = good_pair_graph()
+        assignment, violations = infer_sorts(pair_schema, g)
+        assert not violations
+        assert assignment["c1"] == ClassRef("C")
+        assert assignment["s1"] == STRING
+
+    def test_conflict_detected(self, pair_schema):
+        g = good_pair_graph()
+        # s1 is forced to be both a string (tag target) and a C (left
+        # target).
+        g.add_edge("r", "left", "s1")
+        _, violations = infer_sorts(pair_schema, g)
+        assert any("conflict" in v.reason for v in violations)
+
+    def test_unreachable_node(self, pair_schema):
+        g = good_pair_graph()
+        g.add_node("island")
+        _, violations = infer_sorts(pair_schema, g)
+        assert any("untyped" in v.reason for v in violations)
+
+
+class TestRecordShape:
+    def test_good_graph_passes(self, pair_schema):
+        assert check_type_constraint(pair_schema, good_pair_graph()).ok
+
+    def test_missing_field(self, pair_schema):
+        g = good_pair_graph()
+        g.remove_edge("c1", "tag", "s1")
+        report = check_type_constraint(pair_schema, g)
+        assert not report.ok
+        assert any("0 edges" in v.reason for v in report.violations)
+
+    def test_duplicate_field(self, pair_schema):
+        g = good_pair_graph()
+        g.add_edge("c1", "tag", "s2")
+        report = check_type_constraint(pair_schema, g)
+        assert not report.ok
+        assert any("2 edges" in v.reason for v in report.violations)
+
+    def test_unexpected_edge(self, pair_schema):
+        g = good_pair_graph()
+        g.add_edge("c1", "bogus", "s1")
+        report = check_type_constraint(pair_schema, g)
+        assert not report.ok
+
+    def test_atomic_with_outgoing_edge(self, pair_schema):
+        g = good_pair_graph()
+        g.add_edge("s1", "tag", "s2")
+        report = check_type_constraint(pair_schema, g)
+        assert not report.ok
+        assert any("atomic" in v.reason for v in report.violations)
+
+    def test_record_extensionality_exempt_for_classes(self, pair_schema):
+        # c1 and c2 share the same tag target: identical contents, but
+        # classes carry object identity, so this is fine.
+        g = Graph(root="r")
+        g.add_edge("r", "left", "c1")
+        g.add_edge("r", "right", "c2")
+        g.add_edge("c1", "tag", "s")
+        g.add_edge("c2", "tag", "s")
+        assert check_type_constraint(pair_schema, g).ok
+
+
+class TestSetShape:
+    def test_good_set_graph(self, set_schema):
+        g = Graph(root="r")
+        g.add_edge("r", "items", "set")
+        for i in range(3):
+            g.add_edge("set", M, f"c{i}")
+            g.add_edge(f"c{i}", "tag", f"s{i}")
+        assert check_type_constraint(set_schema, g).ok
+
+    def test_empty_set_ok(self, set_schema):
+        g = Graph(root="r")
+        g.add_edge("r", "items", "set")
+        assert check_type_constraint(set_schema, g).ok
+
+    def test_non_membership_edge_on_set(self, set_schema):
+        g = Graph(root="r")
+        g.add_edge("r", "items", "set")
+        g.add_edge("set", "bogus", "x")
+        report = check_type_constraint(set_schema, g)
+        assert not report.ok
+        assert any("non-membership" in v.reason for v in report.violations)
+
+    def test_set_extensionality_violation(self, set_schema):
+        # Two distinct {C} nodes with the same members: pure set types
+        # are extensional, so this violates Phi(Delta).  Reach the
+        # second set node through a second record field... the schema
+        # has only one, so craft it with explicit sorts.
+        g = Graph(root="r")
+        g.set_sort("r", "DBtype")
+        g.add_edge("r", "items", "set1")
+        g.add_node("set2", sort="{C}")
+        g.set_sort("set1", "{C}")
+        g.add_edge("set1", M, "c")
+        g.add_edge("set2", M, "c")
+        g.add_node("c", sort="C")
+        g.add_edge("c", "tag", "s")
+        g.add_node("s", sort="string")
+        report = check_type_constraint(set_schema, g)
+        assert not report.ok
+        assert any("extensionality" in v.reason for v in report.violations)
+
+
+class TestExplicitSorts:
+    def test_explicit_sorts_checked(self, pair_schema):
+        g = good_pair_graph()
+        g.set_sort("r", "DBtype")
+        g.set_sort("c1", "C")
+        g.set_sort("c2", "C")
+        g.set_sort("s1", "string")
+        g.set_sort("s2", "string")
+        assert check_type_constraint(pair_schema, g).ok
+
+    def test_missing_sort_flagged(self, pair_schema):
+        g = good_pair_graph()
+        g.set_sort("r", "DBtype")  # others unsorted
+        report = check_type_constraint(pair_schema, g)
+        assert not report.ok
+        assert any("no sort" in v.reason for v in report.violations)
+
+    def test_wrong_root_sort(self, pair_schema):
+        g = good_pair_graph()
+        for node in g.nodes:
+            g.set_sort(node, "C")
+        report = check_type_constraint(pair_schema, g)
+        assert not report.ok
+        assert any("DBtype" in v.reason for v in report.violations)
+
+    def test_unknown_sort_name(self, pair_schema):
+        g = good_pair_graph()
+        for node in g.nodes:
+            g.set_sort(node, "Mystery")
+        report = check_type_constraint(pair_schema, g)
+        assert not report.ok
+        assert any("not in T(Delta)" in v.reason for v in report.violations)
+
+    def test_ignore_graph_sorts_option(self, pair_schema):
+        g = good_pair_graph()
+        for node in g.nodes:
+            g.set_sort(node, "Mystery")
+        # With inference instead of the bogus sorts, the graph is fine.
+        assert check_type_constraint(pair_schema, g, use_graph_sorts=False).ok
+
+
+class TestRecursiveSchemas:
+    def test_cycle_allowed(self, fs_schema):
+        # Cat -> head: Cat recursion satisfied by a cyclic graph.
+        g = Graph(root="r")
+        g.add_edge("r", "sentence", "cat")
+        g.add_edge("r", "subject", "cat")
+        g.add_edge("cat", "head", "cat")
+        g.add_edge("cat", "agreement", "agr")
+        g.add_edge("cat", "phon", "s")
+        g.add_edge("agr", "number", "s2")
+        g.add_edge("agr", "person", "s3")
+        assert check_type_constraint(fs_schema, g).ok
+
+    def test_report_summary_readable(self, pair_schema):
+        g = good_pair_graph()
+        g.remove_edge("c1", "tag", "s1")
+        report = check_type_constraint(pair_schema, g)
+        assert "violation" in report.summary()
+        assert not bool(report)

@@ -1,0 +1,245 @@
+"""Tests for the typed-M decision procedure (Theorems 4.2/4.9).
+
+Cross-validations:
+
+* Lemmas 4.7/4.8 (forward/backward <-> word equivalence over M) are
+  checked on concrete structures of U(Delta);
+* commutativity is checked semantically: over M, word implication is
+  symmetric, and the typed decider must differ from the untyped one
+  exactly there;
+* decided answers agree with brute-force search over structures of
+  U_f(Delta).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.checking import check
+from repro.constraints import backward, forward, parse_constraint, parse_constraints, word
+from repro.errors import ModelRestrictionError, PathNotInSchemaError
+from repro.graph import Graph
+from repro.paths import Path
+from repro.reasoning import TypedImplicationDecider, implies_typed_m
+from repro.reasoning.axioms import check_proof
+from repro.reasoning.typed_m import word_image
+from repro.reasoning.word import WordImplicationDecider
+from repro.truth import Trilean
+from repro.types.examples import chain_m_schema, feature_structure_schema
+from repro.types.typecheck import check_type_constraint
+
+
+def fs_structures(max_cats: int = 2):
+    """Enumerate small members of U_f(Delta) for the feature-structure
+    schema: choose cat/agr node counts and all field assignments."""
+    for cat_count in range(1, max_cats + 1):
+        cats = [f"cat{i}" for i in range(cat_count)]
+        agrs = ["agr0"]
+        for sentence, subject in itertools.product(cats, repeat=2):
+            for heads in itertools.product(cats, repeat=cat_count):
+                g = Graph(root="r")
+                g.add_edge("r", "sentence", sentence)
+                g.add_edge("r", "subject", subject)
+                for cat, head in zip(cats, heads):
+                    g.add_edge(cat, "head", head)
+                    g.add_edge(cat, "agreement", "agr0")
+                    g.add_edge(cat, "phon", f"phon-{cat}")
+                for agr in agrs:
+                    g.add_edge(agr, "number", "num")
+                    g.add_edge(agr, "person", "pers")
+                # Keep only fully reachable structures: unreachable
+                # parts never influence root-anchored constraints, and
+                # sort inference requires reachability.
+                if g.reachable() == g.nodes:
+                    yield g
+
+
+class TestGuards:
+    def test_requires_m_schema(self, bib_schema):
+        with pytest.raises(ModelRestrictionError):
+            TypedImplicationDecider(bib_schema, [])
+
+    def test_paths_must_be_in_schema(self, fs_schema):
+        with pytest.raises(PathNotInSchemaError):
+            TypedImplicationDecider(
+                fs_schema, parse_constraints("sentence.bogus => subject")
+            )
+        decider = TypedImplicationDecider(fs_schema, [])
+        with pytest.raises(PathNotInSchemaError):
+            decider.implies(parse_constraint("bogus => subject"))
+
+    def test_backward_rhs_validated(self, fs_schema):
+        # For a backward constraint the conclusion runs from the
+        # hypothesis target, so prefix.lhs.rhs must be valid.
+        with pytest.raises(PathNotInSchemaError):
+            TypedImplicationDecider(
+                fs_schema,
+                [backward("sentence", "head", "number")],
+            )
+
+
+class TestWordImage:
+    def test_forward_image(self):
+        phi = forward("p", "a", "b")
+        assert word_image(phi) == (Path.parse("p.a"), Path.parse("p.b"))
+
+    def test_backward_image(self):
+        phi = backward("p", "a", "w")
+        assert word_image(phi) == (Path.parse("p"), Path.parse("p.a.w"))
+
+    def test_word_image_is_identity(self):
+        phi = word("a.b", "c")
+        assert word_image(phi) == (Path.parse("a.b"), Path.parse("c"))
+
+
+class TestDecisions:
+    def test_symmetry_over_m(self, fs_schema):
+        sigma = parse_constraints("sentence.head => subject")
+        decider = TypedImplicationDecider(fs_schema, sigma)
+        # The same query fails untyped (word implication is directed)...
+        assert not WordImplicationDecider(sigma).implies(
+            parse_constraint("subject => sentence.head")
+        )
+        # ...but holds over M (commutativity / Lemma 4.6).
+        assert decider.implies(parse_constraint("subject => sentence.head"))
+
+    def test_congruence_consequences(self, fs_schema):
+        sigma = parse_constraints("sentence => subject")
+        decider = TypedImplicationDecider(fs_schema, sigma)
+        assert decider.implies(
+            parse_constraint("sentence.head.agreement => subject.head.agreement")
+        )
+
+    def test_forward_and_word_forms_equivalent(self, fs_schema):
+        # Lemma 4.7 at the decider level: the P_c form and its word
+        # image are interchangeable as premises and queries.
+        forward_form = parse_constraint("sentence :: head => head.head")
+        word_form = word("sentence.head", "sentence.head.head")
+        for premise in (forward_form, word_form):
+            decider = TypedImplicationDecider(fs_schema, [premise])
+            for query in (forward_form, word_form):
+                assert decider.implies(query)
+
+    def test_backward_and_word_forms_equivalent(self, fs_schema):
+        backward_form = parse_constraint("sentence :: head ~> head")
+        word_form = word("sentence", "sentence.head.head")
+        for premise in (backward_form, word_form):
+            decider = TypedImplicationDecider(fs_schema, [premise])
+            for query in (backward_form, word_form):
+                assert decider.implies(query), (premise, query)
+
+    def test_non_implication(self, fs_schema):
+        decider = TypedImplicationDecider(
+            fs_schema, parse_constraints("sentence.head => subject")
+        )
+        assert not decider.implies(parse_constraint("sentence => subject"))
+        assert not decider.implies(
+            parse_constraint("sentence.agreement => subject.agreement")
+        )
+
+    def test_unsatisfiable_premises_imply_everything(self, fs_schema):
+        # sentence (Cat) can never equal sentence.phon (string):
+        # distinct sorts, so no structure of U(Delta) models Sigma.
+        sigma = parse_constraints("sentence => sentence.phon")
+        decider = TypedImplicationDecider(fs_schema, sigma)
+        assert not decider.premises_satisfiable
+        assert decider.implies(parse_constraint("sentence => subject"))
+        result = implies_typed_m(
+            fs_schema, sigma, parse_constraint("sentence => subject")
+        )
+        assert result.answer is Trilean.TRUE
+        assert any("unsatisfiable" in note for note in result.notes)
+
+    def test_type_inconsistent_query_not_implied(self, fs_schema):
+        decider = TypedImplicationDecider(
+            fs_schema, parse_constraints("sentence.head => subject")
+        )
+        assert not decider.implies(
+            parse_constraint("sentence => sentence.phon")
+        )
+
+    def test_recursive_schema_loops(self):
+        schema = chain_m_schema(2)
+        sigma = parse_constraints("f1 => f1.f2.back")
+        decider = TypedImplicationDecider(schema, sigma)
+        # Unrolling the loop twice is still forced.
+        assert decider.implies(
+            parse_constraint("f1 => f1.f2.back.f2.back")
+        )
+        assert not decider.implies(parse_constraint("f1 => f1.f2.back.f2"))
+
+    def test_equivalent_paths_enumeration(self, fs_schema):
+        decider = TypedImplicationDecider(
+            fs_schema, parse_constraints("sentence.head => subject")
+        )
+        out = decider.equivalent_paths("subject", max_length=2)
+        assert Path.parse("sentence.head") in out
+        assert Path.parse("subject") in out
+
+
+class TestProofs:
+    def test_proof_for_backward_query(self, fs_schema):
+        sigma = parse_constraints("sentence :: head ~> head")
+        decider = TypedImplicationDecider(fs_schema, sigma)
+        query = parse_constraint("sentence :: head.head => ()")
+        # head.head from sentence returns to sentence: head o head = id.
+        assert decider.implies(query)
+        proof = decider.prove(query)
+        assert proof is not None
+        assert check_proof(proof) == query
+
+    def test_proof_uses_m_rules(self, fs_schema):
+        sigma = parse_constraints("sentence.head => subject")
+        decider = TypedImplicationDecider(fs_schema, sigma)
+        query = parse_constraint("subject => sentence.head")
+        proof = decider.prove(query)
+        assert proof is not None
+        assert check_proof(proof) == query
+        assert proof.uses_only_sound_rules("M")
+        assert not proof.uses_only_sound_rules("untyped")
+
+    def test_no_proof_for_vacuous_implication(self, fs_schema):
+        sigma = parse_constraints("sentence => sentence.phon")
+        decider = TypedImplicationDecider(fs_schema, sigma)
+        assert decider.prove(parse_constraint("sentence => subject")) is None
+
+
+class TestAgainstStructures:
+    """Semantic cross-validation on enumerated members of U_f(Delta)."""
+
+    def _models_of(self, sigma):
+        for g in fs_structures(max_cats=2):
+            if all(check(g, phi).holds for phi in sigma):
+                yield g
+
+    @pytest.mark.parametrize(
+        "sigma_text,phi_text,expected",
+        [
+            ("sentence.head => subject", "subject => sentence.head", True),
+            ("sentence.head => subject", "sentence => subject", False),
+            ("sentence => subject", "sentence.head => subject.head", True),
+            ("sentence :: head ~> head", "sentence :: head.head => ()", True),
+            ("sentence.head => sentence", "sentence.head.head => sentence", True),
+        ],
+    )
+    def test_decider_matches_enumeration(
+        self, fs_schema, sigma_text, phi_text, expected
+    ):
+        sigma = parse_constraints(sigma_text)
+        phi = parse_constraint(phi_text)
+        decider = TypedImplicationDecider(fs_schema, sigma)
+        assert decider.implies(phi) == expected
+        # Enumerated finite models must agree with a TRUE answer, and a
+        # FALSE answer must be witnessed by some enumerated model.
+        witnesses = list(self._models_of(sigma))
+        assert witnesses, "enumeration produced no models of sigma"
+        if expected:
+            assert all(check(g, phi).holds for g in witnesses)
+        else:
+            assert any(not check(g, phi).holds for g in witnesses)
+
+    def test_enumerated_structures_are_typed(self, fs_schema):
+        for g in itertools.islice(fs_structures(max_cats=2), 12):
+            assert check_type_constraint(fs_schema, g).ok

@@ -1,0 +1,194 @@
+"""Tests for the XML frontend: parser, graphization, schema import."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checking import check
+from repro.constraints import parse_constraint
+from repro.errors import SchemaError, XMLSyntaxError
+from repro.types import ClassRef, SetType
+from repro.xml import document_to_graph, parse_xml, schema_from_xml_data
+
+BIB_XML = """
+<bib>
+  <book id="b1" author="p1" ref="b2">
+    <title>Foundations of Databases</title>
+    <ISBN>111</ISBN>
+  </book>
+  <book id="b2" author="p1 p2">
+    <title>Semistructured Data</title>
+    <ISBN>222</ISBN>
+  </book>
+  <person id="p1" wrote="b1 b2"><name>Ada</name></person>
+  <person id="p2" wrote="b2"><name>Bob</name></person>
+</bib>
+"""
+
+#: The paper's Section 1 XML-Data declarations (verbatim structure).
+XML_DATA_SCHEMA = """
+<schema>
+  <elementType id="book">
+    <attribute name="author" range="#person"/>
+    <attribute name="ref" range="#book"/>
+    <element type="#ISBN"/>
+    <element type="#title"/>
+    <element type="#year" occurs="optional"/>
+  </elementType>
+  <elementType id="person">
+    <attribute name="wrote" range="#book"/>
+    <element type="#SSN"/>
+    <element type="#name"/>
+    <element type="#age" occurs="optional"/>
+  </elementType>
+  <elementType id="title"><string/></elementType>
+  <elementType id="ISBN"><string/></elementType>
+  <elementType id="year"><int/></elementType>
+  <elementType id="SSN"><string/></elementType>
+  <elementType id="name"><string/></elementType>
+  <elementType id="age"><int/></elementType>
+</schema>
+"""
+
+
+class TestParser:
+    def test_nested_elements(self):
+        root = parse_xml("<a><b><c/></b><b/></a>")
+        assert root.tag == "a"
+        assert len(root.find_all("b")) == 2
+        assert root.children[0].find("c") is not None
+
+    def test_attributes(self):
+        root = parse_xml('<a x="1" y=\'two\'/>')
+        assert root.attributes == {"x": "1", "y": "two"}
+
+    def test_text_content(self):
+        root = parse_xml("<a>hello <b>world</b></a>")
+        assert root.text == "hello"
+        assert root.find("b").text == "world"
+
+    def test_entities_unescaped(self):
+        root = parse_xml('<a x="&lt;&amp;&gt;">&quot;q&quot;</a>')
+        assert root.attributes["x"] == "<&>"
+        assert root.text == '"q"'
+
+    def test_comments_and_declaration_skipped(self):
+        root = parse_xml('<?xml version="1.0"?><!-- note --><a/>')
+        assert root.tag == "a"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a/><b/>",
+            "text only",
+            '<a x="1" x="2"/>',
+            "<a><b></a></b>",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml(bad)
+
+    def test_iter_depth_first(self):
+        root = parse_xml("<a><b><c/></b><d/></a>")
+        assert [e.tag for e in root.iter()] == ["a", "b", "c", "d"]
+
+
+class TestGraphize:
+    def test_bibliography_document(self):
+        graph = document_to_graph(
+            parse_xml(BIB_XML), reference_attributes={"author", "ref", "wrote"}
+        )
+        assert len(graph.eval_path("book")) == 2
+        assert len(graph.eval_path("person")) == 2
+        assert len(graph.eval_path("book.author")) == 2
+        assert len(graph.eval_path("book.ref")) == 1
+        assert len(graph.eval_path("book.author.wrote.title")) == 2
+
+    def test_inverse_constraints_checkable(self):
+        graph = document_to_graph(
+            parse_xml(BIB_XML), reference_attributes={"author", "ref", "wrote"}
+        )
+        assert check(
+            graph, parse_constraint("book :: author ~> wrote")
+        ).holds
+        assert check(
+            graph, parse_constraint("book.author => person")
+        ).holds
+
+    def test_plain_attributes_become_leaves(self):
+        graph = document_to_graph(parse_xml('<a><b isbn="1"/></a>'))
+        leaves = graph.eval_path("b.isbn")
+        assert len(leaves) == 1
+        leaf = next(iter(leaves))
+        assert graph.sort_of(leaf) == "value:1"
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="duplicate id"):
+            document_to_graph(parse_xml('<a><b id="x"/><c id="x"/></a>'))
+
+    def test_dangling_reference_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="dangling"):
+            document_to_graph(
+                parse_xml('<a><b ref="ghost"/></a>'),
+                reference_attributes={"ref"},
+            )
+
+
+class TestSchemaImport:
+    def test_paper_example_schema(self):
+        schema = schema_from_xml_data(XML_DATA_SCHEMA)
+        assert schema.class_names == frozenset({"Book", "Person"})
+        book = schema.body_of("Book")
+        # Relationships are set-valued class references.
+        assert book.field("author") == SetType(ClassRef("Person"))
+        assert book.field("ref") == SetType(ClassRef("Book"))
+        # Required elements are singleton atomics, optional ones sets.
+        assert repr(book.field("title")) == "string"
+        assert repr(book.field("year")) == "{int}"
+        # The DB type collects extents.
+        assert repr(schema.db_type.field("book")) == "{Book}"
+
+    def test_matches_example_3_1(self):
+        """The XML-Data import reproduces Example 3.1's schema up to
+        the set-vs-atom choice for required strings (Example 3.1 keeps
+        title atomic; so does the import)."""
+        from repro.types.examples import example_3_1_schema
+
+        imported = schema_from_xml_data(XML_DATA_SCHEMA)
+        reference = example_3_1_schema()
+        for cls in ("Book", "Person"):
+            imported_labels = set(imported.body_of(cls).labels)
+            reference_labels = set(reference.body_of(cls).labels)
+            assert imported_labels == reference_labels
+
+    def test_rejects_missing_declarations(self):
+        with pytest.raises(SchemaError):
+            schema_from_xml_data("<schema/>")
+
+    def test_rejects_dangling_reference(self):
+        with pytest.raises(SchemaError, match="undeclared"):
+            schema_from_xml_data(
+                """
+                <schema>
+                  <elementType id="a">
+                    <attribute name="x" range="#ghost"/>
+                  </elementType>
+                </schema>
+                """
+            )
+
+    def test_rejects_bad_range_syntax(self):
+        with pytest.raises(SchemaError, match="#"):
+            schema_from_xml_data(
+                """
+                <schema>
+                  <elementType id="a">
+                    <attribute name="x" range="a"/>
+                  </elementType>
+                </schema>
+                """
+            )
