@@ -9,9 +9,53 @@ from __future__ import annotations
 
 import random
 
-from repro.constraints.ast import PathConstraint, word
+from repro.constraints.ast import PathConstraint, backward, forward, word
 from repro.monoids.presentation import MonoidPresentation
 from repro.paths import Path
+
+#: The Section 1 inverse/extent constraints driving the chase-repair
+#: and incremental-integrity workloads.
+REPAIR_SIGMA = [
+    backward("book", "author", "wrote"),
+    backward("person", "wrote", "author"),
+    forward("", "book.author", "person"),
+]
+
+
+def broken_bibliography(books: int, seed: int):
+    """A scaled bibliography with inverse ``wrote`` edges randomly
+    dropped — the chase-repair workload.  Returns (graph, removed)."""
+    from repro.graph.builders import scaled_bibliography
+
+    rng = random.Random(seed)
+    graph = scaled_bibliography(books, max(books // 3, 2), seed=seed)
+    removed = 0
+    for person in list(graph.eval_path("person")):
+        for book in list(graph.eval_path("wrote", start=person)):
+            if rng.random() < 0.5:
+                graph.remove_edge(person, "wrote", book)
+                removed += 1
+    return graph, removed
+
+
+def bibliography_edge_stream(books: int, persons: int, seed: int = 0):
+    """A streaming insertion trace for the incremental-integrity
+    workload: person/book skeleton first, then authorship edges with
+    their inverses arriving a few inserts late."""
+    rng = random.Random(seed)
+    person_ids = [f"p{i}" for i in range(persons)]
+    for p in person_ids:
+        yield ("r", "person", p)
+    pending = []
+    for i in range(books):
+        b = f"b{i}"
+        yield ("r", "book", b)
+        for p in rng.sample(person_ids, k=rng.randint(1, 3)):
+            yield (b, "author", p)
+            pending.append((p, "wrote", b))
+            if len(pending) > 5:
+                yield pending.pop(0)
+    yield from pending
 
 #: The monoid corpus used by the undecidable-cell demonstrations:
 #: (name, presentation, provably-equal pair, provably-unequal pair).

@@ -18,36 +18,19 @@ import time
 import pytest
 
 from _report import print_table
+from _workloads import REPAIR_SIGMA, broken_bibliography
 from repro.constraints.ast import PathConstraint, backward, forward
-from repro.graph.builders import scaled_bibliography
 from repro.paths import Path
 from repro.reasoning.chase import chase, chase_implication
 from repro.truth import Trilean
 
-REPAIR_SIGMA = [
-    backward("book", "author", "wrote"),
-    backward("person", "wrote", "author"),
-    forward("", "book.author", "person"),
-]
-
-
-def _broken_bibliography(books: int, seed: int):
-    """A bibliography with the inverse edges randomly dropped."""
-    rng = random.Random(seed)
-    graph = scaled_bibliography(books, max(books // 3, 2), seed=seed)
-    removed = 0
-    for person in list(graph.eval_path("person")):
-        for book in list(graph.eval_path("wrote", start=person)):
-            if rng.random() < 0.5:
-                graph.remove_edge(person, "wrote", book)
-                removed += 1
-    return graph, removed
+pytestmark = pytest.mark.bench
 
 
 @pytest.mark.benchmark(group="chase")
 @pytest.mark.parametrize("books", [50, 200, 800])
 def test_chase_repair_scaling(benchmark, books):
-    graph, _ = _broken_bibliography(books, seed=books)
+    graph, _ = broken_bibliography(books, seed=books)
 
     def repair():
         return chase(graph, REPAIR_SIGMA, max_steps=1_000_000)

@@ -19,6 +19,8 @@ from repro.graph.builders import scaled_bibliography
 from repro.query import WordQueryOptimizer, evaluate_word
 from repro.reasoning.chase import chase
 
+pytestmark = pytest.mark.bench
+
 CONSTRAINTS = parse_constraints(
     """
     book :: author ~> wrote

@@ -33,6 +33,8 @@ from repro.reductions import (
 )
 from repro.types.typecheck import check_type_constraint
 
+pytestmark = pytest.mark.bench
+
 SECTION1_CONSTRAINTS = """
 book :: author ~> wrote
 person :: wrote ~> author

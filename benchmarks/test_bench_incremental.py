@@ -8,15 +8,17 @@ revalidation while doing orders of magnitude less work.
 
 from __future__ import annotations
 
-import random
 import time
 
 import pytest
 
 from _report import print_table
+from _workloads import bibliography_edge_stream as edge_stream
 from repro.checking import IncrementalChecker, check_all
 from repro.constraints import parse_constraints
 from repro.graph import Graph
+
+pytestmark = pytest.mark.bench
 
 SIGMA = parse_constraints(
     """
@@ -26,23 +28,6 @@ SIGMA = parse_constraints(
     person.wrote => book
     """
 )
-
-
-def edge_stream(books: int, persons: int, seed: int = 0):
-    rng = random.Random(seed)
-    person_ids = [f"p{i}" for i in range(persons)]
-    for p in person_ids:
-        yield ("r", "person", p)
-    pending = []
-    for i in range(books):
-        b = f"b{i}"
-        yield ("r", "book", b)
-        for p in rng.sample(person_ids, k=rng.randint(1, 3)):
-            yield (b, "author", p)
-            pending.append((p, "wrote", b))
-            if len(pending) > 5:
-                yield pending.pop(0)
-    yield from pending
 
 
 SIZES = [100, 300, 900]

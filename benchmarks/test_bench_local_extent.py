@@ -21,6 +21,8 @@ from _workloads import local_extent_workload
 from repro.constraints.ast import forward
 from repro.reasoning import implies_local_extent
 
+pytestmark = pytest.mark.bench
+
 DECOYS = [0, 16, 64, 256, 1024]
 
 

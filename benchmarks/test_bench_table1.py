@@ -43,6 +43,8 @@ from repro.truth import Trilean
 from repro.types.examples import feature_structure_schema
 from repro.types.typecheck import check_type_constraint
 
+pytestmark = pytest.mark.bench
+
 
 def _evidence_pw_untyped() -> str:
     """P_w over semistructured data: decider vs chase on 150 instances."""

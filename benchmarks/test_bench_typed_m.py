@@ -18,6 +18,8 @@ from _report import print_table
 from _workloads import typed_m_workload
 from repro.reasoning import TypedImplicationDecider
 
+pytestmark = pytest.mark.bench
+
 SIZES = [(2, 4), (4, 8), (8, 16), (12, 32), (16, 64)]
 
 

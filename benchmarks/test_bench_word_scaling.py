@@ -20,6 +20,8 @@ from repro.constraints import word
 from repro.paths import Path
 from repro.reasoning import WordImplicationDecider
 
+pytestmark = pytest.mark.bench
+
 SIZES = [4, 8, 16, 32, 64]
 
 

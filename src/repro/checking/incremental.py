@@ -23,6 +23,13 @@ from the endpoints of the new edge:
 
 The result is equivalent to full re-validation (asserted exhaustively
 in the test suite) while touching a small neighbourhood per insert.
+
+All image reads go through ``graph.path_cache``: one ``notify_edge``
+evaluates the same prefix/conclusion images for several constraints
+and witness pairs, and between two inserts the generation stamp
+guarantees nothing stale survives the mutation.  Conclusion checks are
+batched — one forward (or backward) image per witness ``x``, probed by
+membership — instead of a fresh traversal per pair.
 """
 
 from __future__ import annotations
@@ -51,25 +58,26 @@ def _pairs_through_edge(
     hypothesis witnesses.
     """
     pairs: set[tuple[Node, Node]] = set()
-    prefix_nodes = graph.eval_path(constraint.prefix)
+    evaluator = graph.path_cache
+    prefix_nodes = evaluator.eval_path(constraint.prefix)
     for i, beta_label in enumerate(constraint.lhs.labels):
         if beta_label != label:
             continue
-        xs = graph.eval_path_backward(constraint.lhs[:i], src) & prefix_nodes
+        xs = evaluator.eval_path_backward(constraint.lhs[:i], src) & prefix_nodes
         if not xs:
             continue
-        ys = graph.eval_path(constraint.lhs[i + 1 :], start=dst)
+        ys = evaluator.eval_path(constraint.lhs[i + 1 :], start=dst)
         pairs.update((x, y) for x in xs for y in ys)
     for i, alpha_label in enumerate(constraint.prefix.labels):
         if alpha_label != label:
             continue
         # Is src actually reachable as an alpha[:i] node?  If not the
         # new edge cannot extend a prefix path.
-        if src not in graph.eval_path(constraint.prefix[:i]):
+        if src not in evaluator.eval_path(constraint.prefix[:i]):
             continue
-        new_xs = graph.eval_path(constraint.prefix[i + 1 :], start=dst)
+        new_xs = evaluator.eval_path(constraint.prefix[i + 1 :], start=dst)
         for x in new_xs:
-            for y in graph.eval_path(constraint.lhs, start=x):
+            for y in evaluator.eval_path(constraint.lhs, start=x):
                 pairs.add((x, y))
     return pairs
 
@@ -154,17 +162,21 @@ class IncrementalChecker:
         self, constraint: PathConstraint, src: Node, dst: Node, label: str
     ) -> None:
         graph = self._graph
+        evaluator = graph.path_cache
         pairs = self._violations[constraint]
+
+        def conclusion_holds(x: Node, y: Node) -> bool:
+            # One cached image per witness x, probed by membership:
+            # forward uses {y : gamma(x, y)}, backward {y : gamma(y, x)}.
+            if constraint.is_forward():
+                return y in evaluator.eval_path(constraint.rhs, start=x)
+            return y in evaluator.eval_path_backward(constraint.rhs, x)
 
         # 1. Repairs: the new edge can complete conclusion paths.
         if label in constraint.rhs.alphabet() and pairs:
             for x, y in list(pairs):
                 self._rechecks += 1
-                if constraint.is_forward():
-                    fixed = graph.satisfies_path(constraint.rhs, x, y)
-                else:
-                    fixed = graph.satisfies_path(constraint.rhs, y, x)
-                if fixed:
+                if conclusion_holds(x, y):
                     pairs.discard((x, y))
 
         # 2. New violations: only witness pairs whose alpha/beta paths
@@ -177,11 +189,7 @@ class IncrementalChecker:
             return
         for x, y in _pairs_through_edge(graph, constraint, src, dst, label):
             self._rechecks += 1
-            if constraint.is_forward():
-                ok = graph.satisfies_path(constraint.rhs, x, y)
-            else:
-                ok = graph.satisfies_path(constraint.rhs, y, x)
-            if ok:
+            if conclusion_holds(x, y):
                 pairs.discard((x, y))
             else:
                 pairs.add((x, y))

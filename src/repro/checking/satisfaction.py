@@ -6,6 +6,13 @@ For a forward constraint ``alpha :: beta => gamma``: for every node
 evaluation is a few breadth-first path images — linear in the touched
 edges per witness set — and returns the violating pairs, which the
 chase consumes as repair obligations.
+
+All path images are read through ``graph.path_cache``, so repeated
+checks between mutations (the chase fixpoint test, shared prefixes
+across a constraint set) are served from memoized images; generation
+stamping makes a stale hit impossible.  Backward conclusions are
+evaluated as *one* backward image ``{ y : gamma(y, x) }`` per witness
+``x`` instead of a forward probe per pair.
 """
 
 from __future__ import annotations
@@ -33,34 +40,43 @@ class CheckResult:
         return self.holds
 
 
+def _conclusion_image(
+    evaluator, constraint: PathConstraint, x: Node
+) -> frozenset:
+    """The set of ``y`` satisfying the conclusion at witness ``x``.
+
+    Forward: ``{ y : gamma(x, y) }`` (one forward image).  Backward:
+    ``{ y : gamma(y, x) }`` (one backward image — batched, instead of
+    a ``satisfies_path`` probe per hypothesis pair).
+    """
+    if constraint.is_forward():
+        return evaluator.eval_path(constraint.rhs, start=x)
+    return evaluator.eval_path_backward(constraint.rhs, x)
+
+
 def violations(
     graph: Graph, constraint: PathConstraint, limit: int | None = None
 ) -> list[tuple[Node, Node]]:
     """The (x, y) pairs violating the constraint (up to ``limit``)."""
     out: list[tuple[Node, Node]] = []
-    prefix_nodes = graph.eval_path(constraint.prefix)
-    for x in prefix_nodes:
-        hypothesis_nodes = graph.eval_path(constraint.lhs, start=x)
+    evaluator = graph.path_cache
+    for x in evaluator.eval_path(constraint.prefix):
+        hypothesis_nodes = evaluator.eval_path(constraint.lhs, start=x)
         if not hypothesis_nodes:
             continue
-        if constraint.is_forward():
-            conclusion_nodes = graph.eval_path(constraint.rhs, start=x)
-            for y in hypothesis_nodes:
-                if y not in conclusion_nodes:
-                    out.append((x, y))
-                    if limit is not None and len(out) >= limit:
-                        return out
-        else:
-            for y in hypothesis_nodes:
-                if not graph.satisfies_path(constraint.rhs, y, x):
-                    out.append((x, y))
-                    if limit is not None and len(out) >= limit:
-                        return out
+        conclusion_nodes = _conclusion_image(evaluator, constraint, x)
+        for y in hypothesis_nodes:
+            if y not in conclusion_nodes:
+                out.append((x, y))
+                if limit is not None and len(out) >= limit:
+                    return out
     return out
 
 
 def check(graph: Graph, constraint: PathConstraint) -> CheckResult:
-    """Full check with witness accounting.
+    """Full check with witness accounting, in a single pass: the
+    witness count and the violating pairs come from the same traversal
+    (images are evaluated once per witness, not twice).
 
     >>> from repro.graph import figure1_graph
     >>> from repro.constraints import parse_constraint
@@ -68,13 +84,19 @@ def check(graph: Graph, constraint: PathConstraint) -> CheckResult:
     >>> check(g, parse_constraint("book.author => person")).holds
     True
     """
+    evaluator = graph.path_cache
     witnesses = 0
-    for x in graph.eval_path(constraint.prefix):
-        witnesses += len(graph.eval_path(constraint.lhs, start=x))
-    bad = tuple(violations(graph, constraint))
+    bad: list[tuple[Node, Node]] = []
+    for x in evaluator.eval_path(constraint.prefix):
+        hypothesis_nodes = evaluator.eval_path(constraint.lhs, start=x)
+        if not hypothesis_nodes:
+            continue
+        witnesses += len(hypothesis_nodes)
+        conclusion_nodes = _conclusion_image(evaluator, constraint, x)
+        bad.extend((x, y) for y in hypothesis_nodes if y not in conclusion_nodes)
     return CheckResult(
         constraint=constraint,
         holds=not bad,
         witnesses=witnesses,
-        violating_pairs=bad,
+        violating_pairs=tuple(bad),
     )

@@ -1,0 +1,215 @@
+"""Generation-stamped memoization of path images.
+
+Every procedure in the library — constraint checking (Definition 2.1),
+the chase semi-decider, the incremental integrity workload — bottoms
+out in :meth:`Graph.eval_path` and friends, and the saturation loops
+re-request the *same* images many times between mutations.
+:class:`PathCache` memoizes those images with an LRU bound, keyed on
+``(kind, path, node, generation)`` where ``generation`` is the owning
+graph's monotone mutation counter: a mutation bumps the generation, so
+every stale entry becomes unreachable at lookup time and the whole
+store is purged lazily on the next request.  Correctness therefore
+never depends on mutators notifying the cache.
+
+``maxsize=0`` disables storage entirely while still counting requests
+as misses — a pass-through evaluator the benchmarks use as the
+uncached baseline (every miss is one raw adjacency-dict traversal).
+
+The cache exposes the same evaluation surface as :class:`Graph`
+(``eval_path``, ``eval_path_from_set``, ``eval_path_backward``,
+``satisfies_path``), so hot consumers can route reads through
+``graph.path_cache`` without touching any other call site.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.paths import Path
+
+if TYPE_CHECKING:
+    from repro.graph.structure import Graph, Node
+
+#: Default LRU bound; large enough for the chase/incremental hot sets,
+#: small enough that a long saturation run stays memory-bounded.
+DEFAULT_MAXSIZE = 4096
+
+
+@dataclass
+class CacheStats:
+    """Observability counters for one :class:`PathCache`.
+
+    ``misses`` equals the number of raw graph traversals performed —
+    the quantity the benchmarks assert shrinks under caching.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "requests": self.requests,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Store:
+    """LRU store; split out so stats survive a clear()."""
+
+    entries: OrderedDict = field(default_factory=OrderedDict)
+    generation: int = -1
+
+
+class PathCache:
+    """Memoizes the path images of one :class:`Graph`.
+
+    >>> from repro.graph import Graph
+    >>> g = Graph(root="r")
+    >>> _ = g.add_edge("r", "a", g.fresh_node())
+    >>> cache = g.path_cache
+    >>> cache.eval_path("a") == cache.eval_path("a")  # second is a hit
+    True
+    >>> cache.stats.hits, cache.stats.misses
+    (1, 1)
+    >>> _ = g.add_edge("r", "a", g.fresh_node())  # bumps the generation
+    >>> sorted(cache.eval_path("a"))  # not served stale
+    [0, 1]
+    """
+
+    __slots__ = ("_graph", "_maxsize", "_store", "_stats")
+
+    def __init__(self, graph: "Graph", maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be non-negative, got {maxsize}")
+        self._graph = graph
+        self._maxsize = maxsize
+        self._store = _Store()
+        self._stats = CacheStats()
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def graph(self) -> "Graph":
+        return self._graph
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._stats
+
+    def cache_stats(self) -> dict[str, float]:
+        """The counters as a plain dict (observability hook)."""
+        return self._stats.as_dict()
+
+    def __len__(self) -> int:
+        return len(self._store.entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._store.entries.clear()
+
+    # -- the memoized lookup --------------------------------------------
+
+    def _get(self, kind: str, path: Path, node: object):
+        graph = self._graph
+        generation = graph.generation
+        store = self._store
+        if store.generation != generation:
+            # Lazy purge: a mutation happened since the last request,
+            # so every stored image is (potentially) stale.
+            if store.entries:
+                self._stats.invalidations += len(store.entries)
+                store.entries.clear()
+            store.generation = generation
+        if self._maxsize == 0:
+            self._stats.misses += 1
+            return None
+        key = (kind, path, node, generation)
+        entries = store.entries
+        try:
+            value = entries[key]
+        except KeyError:
+            self._stats.misses += 1
+            return None
+        entries.move_to_end(key)
+        self._stats.hits += 1
+        return value
+
+    def _put(self, kind: str, path: Path, node: object, value) -> None:
+        if self._maxsize == 0:
+            return
+        entries = self._store.entries
+        entries[(kind, path, node, self._store.generation)] = value
+        while len(entries) > self._maxsize:
+            entries.popitem(last=False)
+            self._stats.evictions += 1
+
+    # -- the Graph evaluation surface -----------------------------------
+
+    def eval_path(
+        self, path: "Path | str", start: "Node | None" = None
+    ) -> frozenset:
+        """Memoized :meth:`Graph.eval_path`."""
+        path = Path.coerce(path)
+        start = self._graph.root if start is None else start
+        value = self._get("fwd", path, start)
+        if value is None:
+            value = self._graph.eval_path(path, start=start)
+            self._put("fwd", path, start, value)
+        return value
+
+    def eval_path_from_set(
+        self, path: "Path | str", starts: Iterable["Node"]
+    ) -> frozenset:
+        """Memoized :meth:`Graph.eval_path_from_set`."""
+        path = Path.coerce(path)
+        starts = frozenset(starts)
+        value = self._get("set", path, starts)
+        if value is None:
+            value = self._graph.eval_path_from_set(path, starts)
+            self._put("set", path, starts, value)
+        return value
+
+    def eval_path_backward(self, path: "Path | str", end: "Node") -> frozenset:
+        """Memoized :meth:`Graph.eval_path_backward`."""
+        path = Path.coerce(path)
+        value = self._get("bwd", path, end)
+        if value is None:
+            value = self._graph.eval_path_backward(path, end)
+            self._put("bwd", path, end, value)
+        return value
+
+    def satisfies_path(self, path: "Path | str", src: "Node", dst: "Node") -> bool:
+        """Does ``path(src, dst)`` hold?  Membership in the memoized
+        forward image, so repeated probes from one source are one
+        traversal."""
+        return dst in self.eval_path(path, start=src)
+
+    def __repr__(self) -> str:
+        stats = self._stats
+        return (
+            f"<PathCache entries={len(self)} maxsize={self._maxsize} "
+            f"hits={stats.hits} misses={stats.misses}>"
+        )

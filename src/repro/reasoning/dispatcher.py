@@ -165,7 +165,9 @@ def solve(
     if problem.context is Context.SEMISTRUCTURED and decidable:
         if problem_class is ProblemClass.WORD:
             return implies_word(problem.sigma, problem.phi, with_proof=with_proof)
-        return implies_local_extent(list(problem.sigma), problem.phi)
+        return implies_local_extent(
+            list(problem.sigma), problem.phi, with_proof=with_proof
+        )
 
     # Undecidable cell.
     if not allow_semidecision:

@@ -79,12 +79,17 @@ def implies_local_extent(
     phi: PathConstraint,
     rho: Path | str | None = None,
     guard: str | None = None,
+    with_proof: bool = False,
 ) -> ImplicationResult:
     """Decide the local extent implication problem (Definition 2.4).
 
     ``rho``/``guard`` are inferred from the query when omitted (the
     paper notes this is linear-time: the guard is the last label of
-    ``pf(phi)``).
+    ``pf(phi)``).  With ``with_proof`` a positive answer carries the
+    I_w certificate of the reduced word instance
+    (``Sigma^2_K |- phi^2``), which Lemma 5.3 transfers to the
+    original instance — this keeps the ``with_proof`` contract uniform
+    across the decidable Table 1 routes.
 
     >>> from repro.constraints import parse_constraints, parse_constraint
     >>> sigma = parse_constraints('''
@@ -104,15 +109,23 @@ def implies_local_extent(
     words, phi2 = reduce_to_word_problem(sigma, phi, rho, guard)
     decider = WordImplicationDecider(words)
     answer = decider.implies(phi2)
+    proof = decider.prove(phi2) if (with_proof and answer) else None
+    notes = [
+        "Sigma_r (other local databases) does not interact (Lemma 5.3)",
+        "implication and finite implication coincide",
+    ]
+    if proof is not None:
+        notes.append(
+            "proof certifies the reduced word instance Sigma^2_K |- phi^2; "
+            "Lemma 5.3 transfers it to the original constraints"
+        )
     return ImplicationResult(
         answer=Trilean.of(answer),
         method="local-extent-g1-g2-reduction",
         decidable=True,
         complexity="PTIME",
+        proof=proof,
         certificate={"rho": rho, "guard": guard, "word_premises": words,
                      "word_query": phi2},
-        notes=(
-            "Sigma_r (other local databases) does not interact (Lemma 5.3)",
-            "implication and finite implication coincide",
-        ),
+        notes=tuple(notes),
     )

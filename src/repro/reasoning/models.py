@@ -30,6 +30,10 @@ from repro.types.typesys import Schema
 def _is_countermodel(
     graph: Graph, sigma: Sequence[PathConstraint], phi: PathConstraint
 ) -> bool:
+    # Both checks read through graph.path_cache, so constraints in
+    # sigma sharing a prefix (or phi's own prefix) re-use one image per
+    # candidate graph instead of re-walking it per constraint — the
+    # enumeration loops above call this millions of times.
     if violations(graph, phi, limit=1):
         return satisfies_all(graph, sigma)
     return False

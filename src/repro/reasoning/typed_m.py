@@ -79,6 +79,7 @@ class TypedImplicationDecider:
         self._schema = schema.require_m()
         self._signature = SchemaSignature(schema)
         self._sigma = tuple(sigma)
+        self._image_memo: dict[PathConstraint, tuple[Path, Path]] = {}
         self._images: list[tuple[Path, Path]] = []
         self._unsatisfiable_premises: list[PathConstraint] = []
         for phi in self._sigma:
@@ -92,12 +93,21 @@ class TypedImplicationDecider:
 
     def _validated_image(self, phi: PathConstraint) -> tuple[Path, Path]:
         """Word image, with every constituent path checked against
-        Paths(Delta)."""
+        Paths(Delta).
+
+        Memoized per constraint: ``implies`` followed by ``prove`` (and
+        repeated queries in search loops) validate each fixed prefix
+        image exactly once instead of re-walking the type graph.
+        """
+        cached = self._image_memo.get(phi)
+        if cached is not None:
+            return cached
         self._signature.require_valid_path(phi.prefix)
         self._signature.require_valid_path(phi.prefix.concat(phi.lhs))
         left, right = word_image(phi)
         self._signature.require_valid_path(left)
         self._signature.require_valid_path(right)
+        self._image_memo[phi] = (left, right)
         return (left, right)
 
     # -- introspection ------------------------------------------------------

@@ -133,3 +133,39 @@ class TestChaseImplication:
         result = chase_implication(sigma, parse_constraint("a.c => b.c"))
         assert result.certificate is not None
         assert result.certificate.graph is not None
+
+
+class TestNodeIdentityRegression:
+    """Regression for the copy/fresh-counter resurrection bug: a chase
+    that merges away an integer node and then allocates fresh nodes
+    must not rebirth the merged id, or ``ChaseOutcome.resolve`` would
+    silently redirect a live node."""
+
+    @staticmethod
+    def _merge_then_allocate_outcome():
+        g = Graph(root="r")
+        n_a = g.fresh_node()  # 0 — will be merged into the root
+        n_b = g.fresh_node()  # 1 — target of the generated path
+        g.add_edge("r", "a", n_a)
+        g.add_edge("r", "b", n_b)
+        sigma = [
+            forward("", "a", ""),     # EGD: every a-successor equals r
+            forward("", "b", "c.d"),  # TGD: allocates a fresh midpoint
+        ]
+        return chase(g, sigma, max_steps=100), n_a
+
+    def test_merged_ids_stay_dead(self):
+        outcome, n_a = self._merge_then_allocate_outcome()
+        assert outcome.fixpoint
+        assert outcome.merges >= 1
+        assert n_a in outcome.node_map
+        # The heart of the bug: a node id recorded as merged away must
+        # not reappear in the chased graph as a fresh allocation.
+        reborn = set(outcome.node_map) & set(outcome.graph.nodes)
+        assert not reborn, f"merged ids resurrected: {reborn}"
+
+    def test_resolve_targets_are_live(self):
+        outcome, n_a = self._merge_then_allocate_outcome()
+        assert outcome.resolve(n_a) == "r"
+        for node in outcome.node_map:
+            assert outcome.graph.has_node(outcome.resolve(node))

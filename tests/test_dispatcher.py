@@ -183,3 +183,36 @@ class TestRouting:
         )
         result = solve(problem)
         assert any("undecidable" in note for note in result.notes)
+
+
+class TestWithProofUniformity:
+    """The with_proof flag must reach every decidable route — the
+    local-extent cell used to drop it silently."""
+
+    def test_local_extent_threads_with_proof(self):
+        problem = ImplicationProblem(
+            parse_constraints(
+                "MIT :: book.author => person\nWarner.book :: author ~> wrote"
+            ),
+            parse_constraint("MIT :: book.author => person"),
+        )
+        result = solve(problem, with_proof=True)
+        assert result.answer is Trilean.TRUE
+        assert result.method == "local-extent-g1-g2-reduction"
+        assert result.proof is not None
+        assert any("reduced word instance" in note for note in result.notes)
+
+    def test_local_extent_no_proof_when_not_requested(self):
+        problem = ImplicationProblem(
+            parse_constraints(
+                "MIT :: book.author => person\nWarner.book :: author ~> wrote"
+            ),
+            parse_constraint("MIT :: book.author => person"),
+        )
+        assert solve(problem, with_proof=False).proof is None
+
+    def test_word_route_still_threads_with_proof(self):
+        problem = ImplicationProblem(
+            parse_constraints("a => b"), parse_constraint("a.c => b.c")
+        )
+        assert solve(problem, with_proof=True).proof is not None

@@ -288,3 +288,57 @@ def test_random_graph_eval_consistency(n, seed):
         (x, y) for y in g.nodes for x in g.eval_path_backward(path, y)
     }
     assert forward_pairs == backward_pairs
+
+
+class TestFreshCounterCarry:
+    """Regression: derived graphs must never reissue a node id the
+    source graph has ever used (a reissued id resurrects a node that a
+    merge deleted, corrupting external node maps — see the chase)."""
+
+    def test_copy_carries_fresh_counter(self):
+        g = Graph(root="r")
+        n0 = g.fresh_node()
+        g.add_edge("r", "a", n0)
+        h = g.copy()
+        h.merge_nodes("r", n0)
+        assert not h.has_node(n0)
+        assert h.fresh_node() != n0
+
+    def test_rerooted_carries_fresh_counter(self):
+        g = Graph(root="r")
+        n0 = g.fresh_node()
+        g.add_edge("r", "a", n0)
+        h = g.rerooted(n0)
+        assert g.fresh_node() == h.fresh_node()
+
+    def test_quotient_carries_fresh_counter(self):
+        g = Graph(root="r")
+        n0, n1 = g.fresh_node(), g.fresh_node()
+        g.add_edge("r", "a", n0)
+        g.add_edge("r", "a", n1)
+        h = g.quotient([[n0, n1]])
+        assert not h.has_node(n1)  # 1 merged into the canonical 0
+        assert h.fresh_node() not in (n0, n1)
+
+    def test_explicit_int_nodes_raise_watermark(self):
+        g = Graph(root=0, nodes=range(3))
+        g.add_edge(0, "a", 1)
+        g.add_edge(0, "a", 2)
+        g.merge_nodes(0, 1)
+        assert not g.has_node(1)
+        assert g.fresh_node() == 3
+
+    def test_fresh_node_never_reissued_after_merge(self):
+        g = Graph(root="r")
+        used = set()
+        for i in range(5):
+            n = g.fresh_node()
+            used.add(n)
+            g.add_edge("r", "a", n)
+        for n in list(used)[:3]:
+            g.merge_nodes("r", n)
+        for _ in range(5):
+            n = g.fresh_node()
+            assert n not in used
+            used.add(n)
+            g.add_edge("r", "b", n)

@@ -1,0 +1,259 @@
+"""Tests for the generation-stamped path-evaluation cache.
+
+The contract under test: ``graph.path_cache`` returns exactly what the
+raw evaluators return, at every generation, no matter how the graph is
+mutated between queries — while actually serving repeats from memory
+(nonzero hits) within a generation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.checking import IncrementalChecker
+from repro.checking.satisfaction import violations
+from repro.constraints import parse_constraints
+from repro.graph import Graph, PathCache
+from repro.graph.builders import figure1_graph
+from repro.paths import Path
+
+
+class TestGeneration:
+    def test_mutators_bump_generation(self):
+        g = Graph(root="r")
+        gen = g.generation
+        g.add_edge("r", "a", "n")
+        assert g.generation > gen
+
+        gen = g.generation
+        g.remove_edge("r", "a", "n")
+        assert g.generation > gen
+
+        gen = g.generation
+        g.add_node("m")
+        assert g.generation > gen
+
+        gen = g.generation
+        g.set_sort("m", "thing")
+        assert g.generation > gen
+
+        g.add_edge("r", "a", "x")
+        g.add_edge("x", "a", "m")
+        gen = g.generation
+        g.add_path("r", "b.c", dst="m")
+        assert g.generation > gen
+
+        gen = g.generation
+        g.merge_nodes("x", "m")
+        assert g.generation > gen
+
+    def test_generation_monotone_over_chase_style_surgery(self):
+        g = figure1_graph()
+        seen = [g.generation]
+        for i in range(5):
+            g.add_edge("r", "extra", g.fresh_node())
+            seen.append(g.generation)
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+
+
+class TestPathCacheBasics:
+    def _one_edge_graph(self):
+        g = Graph(root="r")
+        g.add_edge("r", "a", "n")
+        return g
+
+    def test_results_match_raw_evaluators(self):
+        g = figure1_graph()
+        cache = g.path_cache
+        for path in ["book", "book.author", "person.wrote", "nope"]:
+            assert cache.eval_path(path) == g.eval_path(path)
+        person = next(iter(g.eval_path("person")))
+        assert cache.eval_path_backward("person", person) == (
+            g.eval_path_backward("person", person)
+        )
+        starts = g.eval_path("book")
+        assert cache.eval_path_from_set("author", starts) == (
+            g.eval_path_from_set("author", starts)
+        )
+
+    def test_hits_and_misses_counted(self):
+        g = self._one_edge_graph()
+        cache = g.path_cache
+        assert cache.eval_path("a") == frozenset({"n"})
+        assert cache.eval_path("a") == frozenset({"n"})
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.requests == 2
+        assert 0 < cache.stats.hit_rate < 1
+
+    def test_empty_image_is_cached_too(self):
+        g = self._one_edge_graph()
+        cache = g.path_cache
+        assert cache.eval_path("ghost") == frozenset()
+        assert cache.eval_path("ghost") == frozenset()
+        assert cache.stats.hits == 1
+
+    def test_mutation_invalidates(self):
+        g = self._one_edge_graph()
+        cache = g.path_cache
+        assert cache.eval_path("a") == frozenset({"n"})
+        g.add_edge("r", "a", "m")
+        assert cache.eval_path("a") == frozenset({"n", "m"})
+        g.remove_edge("r", "a", "n")
+        assert cache.eval_path("a") == frozenset({"m"})
+        assert cache.stats.invalidations > 0
+
+    def test_satisfies_path_membership(self):
+        g = self._one_edge_graph()
+        cache = g.path_cache
+        assert cache.satisfies_path("a", "r", "n")
+        assert not cache.satisfies_path("a", "r", "r")
+        # Both probes share one image.
+        assert cache.stats.hits == 1
+
+    def test_lru_eviction_bounds_entries(self):
+        g = Graph(root="r")
+        for i in range(10):
+            g.add_edge("r", f"l{i}", f"n{i}")
+        cache = g.configure_path_cache(maxsize=4)
+        for i in range(10):
+            cache.eval_path(f"l{i}")
+        assert len(cache) == 4
+        assert cache.stats.evictions == 6
+
+    def test_maxsize_zero_is_pass_through(self):
+        g = self._one_edge_graph()
+        cache = g.configure_path_cache(maxsize=0)
+        for _ in range(3):
+            assert cache.eval_path("a") == frozenset({"n"})
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 3
+        assert len(cache) == 0
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            PathCache(Graph(root="r"), maxsize=-1)
+
+    def test_cache_stats_hook(self):
+        g = self._one_edge_graph()
+        g.path_cache.eval_path("a")
+        stats = g.cache_stats()
+        assert stats.misses == 1
+        assert g.path_cache.cache_stats()["misses"] == 1
+
+    def test_copy_gets_its_own_cache(self):
+        g = self._one_edge_graph()
+        g.path_cache.eval_path("a")
+        h = g.copy()
+        assert h.cache_stats().requests == 0
+        h.add_edge("r", "a", "m")
+        assert g.path_cache.eval_path("a") == frozenset({"n"})
+        assert h.path_cache.eval_path("a") == frozenset({"n", "m"})
+
+    def test_copy_inherits_cache_configuration(self):
+        g = self._one_edge_graph()
+        g.configure_path_cache(maxsize=0)
+        h = g.copy()
+        h.path_cache.eval_path("a")
+        h.path_cache.eval_path("a")
+        assert h.cache_stats().hits == 0
+
+
+SIGMA_TEXT = """
+book :: author ~> wrote
+person :: wrote ~> author
+book.author => person
+person.wrote => book
+"""
+
+
+class TestNoStaleImages:
+    """Acceptance: mutation between queries never serves a stale image.
+
+    Cached ``violations()`` must equal the from-scratch ground truth of
+    ``IncrementalChecker.revalidate()`` (and of an uncached clone)
+    after every mutation of a random edit script.
+    """
+
+    def test_random_edit_script_never_stale(self):
+        rng = random.Random(20260806)
+        sigma = parse_constraints(SIGMA_TEXT)
+        g = Graph(root="r")
+        checker = IncrementalChecker(g, sigma)
+        nodes = ["r"]
+        labels = ["book", "person", "author", "wrote"]
+        edges: list[tuple] = []
+
+        for step in range(120):
+            if edges and rng.random() < 0.25:
+                src, label, dst = edges.pop(rng.randrange(len(edges)))
+                g.remove_edge(src, label, dst)
+            else:
+                src = rng.choice(nodes)
+                label = rng.choice(labels)
+                if rng.random() < 0.5 or len(nodes) < 3:
+                    dst = f"n{step}"
+                    nodes.append(dst)
+                else:
+                    dst = rng.choice(nodes)
+                g.add_edge(src, label, dst)
+                if (src, label, dst) not in edges:
+                    edges.append((src, label, dst))
+
+            # Cached query right after the mutation...
+            cached = {c: set(violations(g, c)) for c in sigma}
+            # ...against an uncached clone of the same structure...
+            clone = g.copy()
+            clone.configure_path_cache(maxsize=0)
+            uncached = {c: set(violations(clone, c)) for c in sigma}
+            assert cached == uncached, f"stale image served at step {step}"
+            # ...and against the incremental checker's from-scratch
+            # ground truth (revalidate recomputes everything).
+            checker.revalidate()
+            truth = {
+                c: set(pairs)
+                for c, pairs in checker.current_violations().items()
+            }
+            assert {c: p for c, p in cached.items() if p} == truth
+
+    def test_interleaved_queries_and_mutations_hit_cache(self):
+        g = figure1_graph()
+        cache = g.path_cache
+        before = g.eval_path("book.author")
+        assert cache.eval_path("book.author") == before
+        assert cache.eval_path("book.author") == before
+        assert cache.stats.hits >= 1
+        extra = g.add_edge("r", "book", g.fresh_node())
+        author = g.add_edge(extra, "author", g.fresh_node())
+        after = cache.eval_path("book.author")
+        assert after == before | {author}
+
+
+class TestSinglePassCheck:
+    def test_check_counts_and_violations_consistent(self):
+        from repro.checking.satisfaction import check
+        from repro.constraints import parse_constraint
+
+        g = figure1_graph()
+        phi = parse_constraint("book.author => person")
+        result = check(g, phi)
+        assert result.holds
+        # Empty prefix: the sole witness source is the root, so the
+        # count is the size of the hypothesis image.
+        assert result.witnesses == len(g.eval_path("book.author"))
+
+    def test_backward_conclusion_batched_matches_per_pair(self):
+        from repro.constraints.ast import backward
+
+        g = figure1_graph()
+        phi = backward("book", "author", "wrote")
+        batched = set(violations(g, phi))
+        per_pair = set()
+        for x in g.eval_path("book"):
+            for y in g.eval_path("author", start=x):
+                if not g.satisfies_path("wrote", y, x):
+                    per_pair.add((x, y))
+        assert batched == per_pair
