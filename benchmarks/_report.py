@@ -3,11 +3,16 @@
 Every benchmark prints paper-style rows via :func:`print_table`, so a
 ``pytest benchmarks/ --benchmark-only -s`` run regenerates the paper's
 tables and figures as text alongside the timing statistics.
+Benchmarks with machine-readable outputs additionally call
+:func:`write_bench_json`, which drops a ``BENCH_<name>.json`` file at
+the repository root for tooling to diff across commits.
 """
 
 from __future__ import annotations
 
+import json
 import sys
+from pathlib import Path
 
 
 def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
@@ -31,3 +36,17 @@ def print_table(title: str, headers: list[str], rows: list[list[object]]) -> Non
     for row in rendered:
         out.write(line(row) + "\n")
     out.flush()
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write ``payload`` to ``BENCH_<name>.json`` at the repo root.
+
+    Returns the path written.  Keys should be stable across runs so the
+    files diff cleanly; volatile data (timings) belongs under clearly
+    named keys that downstream tooling knows to tolerate.
+    """
+    root = Path(__file__).resolve().parent.parent
+    target = root / f"BENCH_{name}.json"
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {target}")
+    return target

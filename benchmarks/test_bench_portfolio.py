@@ -1,0 +1,135 @@
+"""Portfolio benchmarks: canonical pruning and worker scaling.
+
+Measures the counter-model engine rebuilt in PR 2 against the seed
+sequential search (every labelled graph, full ``Graph`` per candidate,
+Definition 2.1 evaluator) on a refutable P_c instance whose smallest
+counter-model has 3 nodes — the seed has to grind through all
+``2^(2*n^2)`` candidates per level before the 262144-candidate level
+that contains the refutation.
+
+Emits ``BENCH_portfolio.json`` at the repo root:
+
+* ``speedup`` — portfolio wall-clock vs the seed baseline at
+  1/2/4/8 workers;
+* ``pruning`` — per node count, total codes vs canonical codes vs
+  candidates actually decoded by the scan (reachability prune
+  included).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _report import print_table, write_bench_json
+from repro.constraints import parse_constraint, parse_constraints
+from repro.reasoning import parallel_find_countermodel
+from repro.reasoning.models import (
+    CodeSpace,
+    brute_force_countermodel,
+    infer_alphabet,
+    scan_codes,
+)
+
+pytestmark = pytest.mark.bench
+
+# The PR 2 acceptance instance: refutable, smallest counter-model has
+# 3 nodes, alphabet {K, a} (the `a :: a => a` tautology forces the
+# GENERAL fragment without widening the alphabet).
+SIGMA_TEXT = "() => K\nK :: () => a.a.a\nK :: a.a.a => ()\na :: a => a"
+PHI_TEXT = "K :: a => ()"
+
+JOB_COUNTS = (1, 2, 4, 8)
+
+
+def _instance():
+    return parse_constraints(SIGMA_TEXT), parse_constraint(PHI_TEXT)
+
+
+def test_portfolio_speedup_vs_seed_baseline():
+    sigma, phi = _instance()
+
+    began = time.perf_counter()
+    baseline_graph = brute_force_countermodel(sigma, phi, max_nodes=3)
+    baseline = time.perf_counter() - began
+    assert baseline_graph is not None
+    assert baseline_graph.node_count() == 3
+
+    rows = [["seed sequential", "-", f"{baseline:.3f}", "1.00x"]]
+    speedups: dict[str, float] = {}
+    timings: dict[str, float] = {"seed_sequential": baseline}
+    reference_edges = None
+    for jobs in JOB_COUNTS:
+        began = time.perf_counter()
+        graph = parallel_find_countermodel(sigma, phi, max_nodes=3, jobs=jobs)
+        elapsed = time.perf_counter() - began
+        assert graph is not None
+        edges = sorted(graph.edges())
+        if reference_edges is None:
+            reference_edges = edges
+        assert edges == reference_edges  # determinism across jobs
+        speedups[str(jobs)] = baseline / elapsed
+        timings[f"jobs_{jobs}"] = elapsed
+        rows.append(
+            [
+                f"portfolio jobs={jobs}",
+                str(jobs),
+                f"{elapsed:.3f}",
+                f"{baseline / elapsed:.2f}x",
+            ]
+        )
+
+    print_table(
+        "portfolio counter-model search vs seed sequential "
+        f"(sigma: {SIGMA_TEXT!r}, phi: {PHI_TEXT!r})",
+        ["engine", "jobs", "seconds", "speedup"],
+        rows,
+    )
+
+    pruning = _pruning_rows(sigma, phi)
+    write_bench_json(
+        "portfolio",
+        {
+            "instance": {"sigma": SIGMA_TEXT, "phi": PHI_TEXT},
+            "countermodel_nodes": baseline_graph.node_count(),
+            "timings_seconds": timings,
+            "speedup": speedups,
+            "pruning": pruning,
+        },
+    )
+
+    # PR 2 acceptance: >= 4x over the seed baseline at 4 workers.
+    assert speedups["4"] >= 4.0, (
+        f"portfolio at jobs=4 only {speedups['4']:.2f}x over seed"
+    )
+
+
+def _pruning_rows(sigma, phi) -> dict[str, dict[str, int]]:
+    labels = infer_alphabet(sigma, phi)
+    pruning: dict[str, dict[str, int]] = {}
+    rows = []
+    for node_count in (1, 2, 3):
+        space = CodeSpace(node_count, labels)
+        canonical = sum(1 for _ in space.canonical_codes())
+        report = scan_codes(space, sigma, phi)
+        pruning[str(node_count)] = {
+            "total_codes": space.total,
+            "canonical_codes": canonical,
+            "scanned_candidates": report.examined,
+        }
+        rows.append(
+            [
+                str(node_count),
+                str(space.total),
+                str(canonical),
+                str(report.examined),
+                f"{space.total / max(1, report.examined):.2f}x",
+            ]
+        )
+    print_table(
+        f"isomorphism + reachability pruning (labels={list(labels)})",
+        ["nodes", "codes", "canonical", "scanned", "reduction"],
+        rows,
+    )
+    return pruning

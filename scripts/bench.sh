@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Performance suite: every benchmark in benchmarks/ (marker: bench).
+# Benchmarks print paper-style tables (-s) and drop machine-readable
+# BENCH_*.json files at the repo root (see benchmarks/_report.py).
+# Tier-1 correctness (scripts/tier1.sh) never runs these.
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m pytest benchmarks/ -m bench -s "$@"

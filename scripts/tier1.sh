@@ -1,9 +1,7 @@
 #!/usr/bin/env sh
 # Tier-1 verification: the fast correctness suite (ROADMAP.md).
 # Benchmarks live in benchmarks/ (marker: bench) and are NOT run here;
-# use scripts/bench.sh-style invocations or
-#   PYTHONPATH=src python -m pytest benchmarks/ -q
-# for the performance suite.
+# use scripts/bench.sh for the performance suite.
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest -x -q "$@"

@@ -5,10 +5,14 @@ Commands
 ``check GRAPH CONSTRAINTS``
     Validate a graph (JSON, the ``repro.graph.serialize`` dict format)
     against a constraint file (line syntax); exit 1 on violations.
-``imply CONSTRAINTS QUERY [--context CTX] [--schema XMLDATA]``
+``imply CONSTRAINTS QUERY [--context CTX] [--schema XMLDATA]
+[--jobs N] [--deadline S]``
     Decide/semi-decide an implication question; prints the answer,
     method and Table 1 cell.  ``--schema`` takes an XML-Data file and
-    is required for typed contexts.
+    is required for typed contexts.  On undecidable cells ``--jobs``
+    races the chase against sharded counter-model search over a
+    process pool, and ``--deadline`` caps the whole portfolio in
+    wall-clock seconds.
 ``classify CONSTRAINTS QUERY``
     Report the fragment (P_w / P_w(K) / local extent / P_c) and the
     decidability verdict in every context.
@@ -73,13 +77,20 @@ def _cmd_imply(args: argparse.Namespace) -> int:
     context = Context(args.context)
     schema = _load_schema(args.schema) if args.schema else None
     problem = ImplicationProblem(sigma, phi, context, schema=schema)
-    result = solve(problem, allow_semidecision=not args.strict)
+    result = solve(
+        problem,
+        allow_semidecision=not args.strict,
+        jobs=args.jobs,
+        deadline=args.deadline,
+    )
     print(f"answer:     {result.answer.value}")
     print(f"method:     {result.method}")
     klass = classify(sigma, phi)
     decidable, complexity = table1_cell(klass, context)
     status = f"decidable ({complexity})" if decidable else "undecidable"
     print(f"fragment:   {klass.value}  [{context.value}: {status}]")
+    for engine in result.stats:
+        print(f"engine:     {engine.describe()}")
     for note in result.notes:
         print(f"note:       {note}")
     if result.proof is not None:
@@ -157,6 +168,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="refuse semi-decision on undecidable cells",
     )
     p.add_argument("--dump-countermodel", metavar="FILE")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the semi-decision portfolio "
+        "(1 = sequential, no pool)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget shared by all portfolio engines",
+    )
     p.set_defaults(func=_cmd_imply)
 
     p = sub.add_parser("classify", help="fragment + Table 1 verdicts")

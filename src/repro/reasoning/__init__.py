@@ -36,9 +36,19 @@ from repro.reasoning.dispatcher import (
     solve,
     table1_cell,
 )
+from repro.reasoning.portfolio import (
+    Budget,
+    parallel_find_countermodel,
+    run_portfolio,
+)
+from repro.reasoning.result import EngineStats
 
 __all__ = [
+    "Budget",
+    "EngineStats",
     "ImplicationResult",
+    "parallel_find_countermodel",
+    "run_portfolio",
     "WordImplicationDecider",
     "implies_word",
     "TypedImplicationDecider",

@@ -21,6 +21,7 @@ conclusion path is empty), so the classic chase applies:
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 from dataclasses import dataclass
 
@@ -54,11 +55,15 @@ def chase(
     graph: Graph,
     sigma: Iterable[PathConstraint],
     max_steps: int = DEFAULT_CHASE_STEPS,
+    deadline: float | None = None,
 ) -> ChaseOutcome:
     """Chase a copy of ``graph`` with Sigma until fixpoint or budget.
 
     Returns the chased graph; ``fixpoint`` is True when no constraint
     has a remaining violation (so the result models Sigma).
+    ``deadline`` is an absolute ``time.time()`` value (the portfolio's
+    shared budget); expiry behaves like step-budget exhaustion — the
+    chase stops early and the fixpoint recheck runs for real.
     """
     sigma = list(sigma)
     # copy() carries the fresh-node watermark forward, so repair paths
@@ -69,15 +74,20 @@ def chase(
     steps = 0
     merges = 0
 
+    def out_of_budget() -> bool:
+        if steps >= max_steps:
+            return True
+        return deadline is not None and time.time() > deadline
+
     progress = True
     clean_pass = False
-    while progress and steps < max_steps:
+    while progress and not out_of_budget():
         progress = False
         for constraint in sigma:
-            if steps >= max_steps:
+            if out_of_budget():
                 break
             bad = violations(work, constraint, limit=1)
-            while bad and steps < max_steps:
+            while bad and not out_of_budget():
                 x, y = bad[0]
                 steps += 1
                 progress = True
@@ -135,6 +145,7 @@ def chase_implication(
     sigma: Iterable[PathConstraint],
     phi: PathConstraint,
     max_steps: int = DEFAULT_CHASE_STEPS,
+    deadline: float | None = None,
 ) -> ImplicationResult:
     """Sound three-valued implication test for untyped P_c.
 
@@ -150,7 +161,7 @@ def chase_implication(
     """
     sigma = list(sigma)
     tableau, x, y = tableau_for(phi)
-    outcome = chase(tableau, sigma, max_steps=max_steps)
+    outcome = chase(tableau, sigma, max_steps=max_steps, deadline=deadline)
     x = outcome.resolve(x)
     y = outcome.resolve(y)
     chased = outcome.graph

@@ -25,13 +25,12 @@ from repro.constraints.classes import (
     is_prefix_bounded_set,
 )
 from repro.errors import UndecidableProblemError
-from repro.reasoning.chase import DEFAULT_CHASE_STEPS, chase_implication
+from repro.reasoning.chase import DEFAULT_CHASE_STEPS
 from repro.reasoning.local_extent import implies_local_extent
-from repro.reasoning.models import find_countermodel, find_typed_countermodel
+from repro.reasoning.portfolio import Budget, run_portfolio
 from repro.reasoning.result import ImplicationResult
 from repro.reasoning.typed_m import implies_typed_m
 from repro.reasoning.word import implies_word
-from repro.truth import Trilean
 from repro.types.typesys import Schema
 
 
@@ -141,16 +140,23 @@ def solve(
     countermodel_nodes: int = 3,
     typed_search_limit: int = 2_000,
     with_proof: bool = False,
+    jobs: int = 1,
+    deadline: float | None = None,
 ) -> ImplicationResult:
     """Decide or semi-decide an implication problem.
 
     For decidable (fragment, context) cells the answer is definite.
-    For undecidable cells, with ``allow_semidecision`` the pipeline is
-    chase (sound both ways, untyped) then bounded counter-model search;
-    in typed contexts an untyped chase TRUE transfers (``U(Delta)`` is
-    a subclass of all structures) while refutation uses typed
-    counter-models only.  Without ``allow_semidecision`` an
-    :class:`UndecidableProblemError` is raised.
+    For undecidable cells, with ``allow_semidecision`` a portfolio of
+    semi-deciders runs: the chase (sound both ways, untyped) and
+    isomorphism-pruned counter-model search; in typed contexts an
+    untyped chase TRUE transfers (``U(Delta)`` is a subclass of all
+    structures) while refutation uses typed counter-models only.  With
+    ``jobs <= 1`` the engines run sequentially in-process; with
+    ``jobs > 1`` they race across a process pool with first-winner
+    cancellation (see :mod:`repro.reasoning.portfolio`).  ``deadline``
+    is a wall-clock budget in seconds shared by every engine.  Without
+    ``allow_semidecision`` an :class:`UndecidableProblemError` is
+    raised.
     """
     problem_class = classify(problem.sigma, problem.phi)
     decidable, complexity = table1_cell(problem_class, problem.context)
@@ -169,7 +175,7 @@ def solve(
             list(problem.sigma), problem.phi, with_proof=with_proof
         )
 
-    # Undecidable cell.
+    # Undecidable cell: run the portfolio of semi-deciders.
     if not allow_semidecision:
         raise UndecidableProblemError(
             f"the (finite) implication problem for {problem_class.value} in "
@@ -178,64 +184,11 @@ def solve(
             "three-valued attempt"
         )
 
-    notes = [
-        f"{problem_class.value} over {problem.context.value}: undecidable "
-        "problem class; semi-decision with explicit budgets"
-    ]
-
-    chased = chase_implication(problem.sigma, problem.phi, max_steps=chase_steps)
-    if problem.context is Context.SEMISTRUCTURED:
-        if chased.answer.is_definite:
-            chased.notes = tuple(notes) + chased.notes
-            return chased
-        graph = find_countermodel(
-            list(problem.sigma), problem.phi, max_nodes=countermodel_nodes
-        )
-        if graph is not None:
-            return ImplicationResult(
-                answer=Trilean.FALSE,
-                method="bounded-countermodel",
-                decidable=False,
-                countermodel=graph,
-                notes=tuple(notes),
-            )
-        return ImplicationResult(
-            answer=Trilean.UNKNOWN,
-            method="chase+bounded-countermodel",
-            decidable=False,
-            notes=tuple(notes) + chased.notes,
-        )
-
-    # Typed undecidable contexts (M+, M+f).
-    assert problem.schema is not None
-    if chased.answer is Trilean.TRUE:
-        # Untyped implication transfers to every subclass of structures.
-        return ImplicationResult(
-            answer=Trilean.TRUE,
-            method="chase(untyped, transfers)",
-            decidable=False,
-            certificate=chased.certificate,
-            notes=tuple(notes),
-        )
-    hit = find_typed_countermodel(
-        problem.schema,
-        problem.sigma,
-        problem.phi,
-        limit=typed_search_limit,
-    )
-    if hit is not None:
-        instance, graph = hit
-        return ImplicationResult(
-            answer=Trilean.FALSE,
-            method="typed-instance-countermodel",
-            decidable=False,
-            countermodel=graph,
-            certificate=instance,
-            notes=tuple(notes),
-        )
-    return ImplicationResult(
-        answer=Trilean.UNKNOWN,
-        method="chase+typed-countermodel",
-        decidable=False,
-        notes=tuple(notes),
+    return run_portfolio(
+        problem,
+        jobs=jobs,
+        budget=Budget.from_seconds(deadline),
+        chase_steps=chase_steps,
+        countermodel_nodes=countermodel_nodes,
+        typed_search_limit=typed_search_limit,
     )

@@ -1,0 +1,714 @@
+"""Parallel portfolio semi-decision: proof search races refutation.
+
+The undecidable cells of Table 1 are served by semi-decision — the
+chase (sound for TRUE, and for FALSE when it reaches a fixpoint) races
+bounded counter-model search (sound for FALSE).  The seed ran the two
+engines sequentially; this module runs them as a *portfolio* across a
+``ProcessPoolExecutor``:
+
+* the chase runs as one pool task;
+* counter-model search is sharded by bit-prefix over the canonical
+  code space of :mod:`repro.reasoning.models` — each worker scans a
+  contiguous code range (level by node count, levels in order);
+* typed contexts shard the ``U_f(Delta)`` instance stream by stride
+  instead;
+* the first engine to produce a *definite* certificate wins, pending
+  work is cancelled, and per-engine statistics (candidates examined,
+  elapsed time, outcome) are surfaced on the returned
+  :class:`ImplicationResult`.
+
+Determinism: the counter-model engine's answer is a function of the
+instance alone, not of scheduling.  Shards report the smallest hit in
+their range; the combiner takes the hit of the lowest range whose
+predecessors exhausted hitless, which is exactly the sequential scan
+order.  So ``--jobs 1`` and ``--jobs 4`` return the same counter-model
+(deadline expiry aside — a budget stop is reported as UNKNOWN either
+way, but *which* candidates were reached may differ).
+
+Budgets: a :class:`Budget` carries one absolute wall-clock deadline
+shared by every engine and shard; expiry turns whichever scans are
+still running into honest UNKNOWN contributions.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+
+from repro.constraints.ast import PathConstraint
+from repro.graph.structure import Graph
+from repro.reasoning.chase import DEFAULT_CHASE_STEPS, chase_implication
+from repro.reasoning.models import (
+    CodeSpace,
+    ShardReport,
+    TypedShardReport,
+    infer_alphabet,
+    scan_codes,
+    scan_typed_instances,
+)
+from repro.reasoning.result import EngineStats, ImplicationResult
+from repro.truth import Trilean
+from repro.types.typesys import Schema
+
+#: Shards per enumeration level, as a multiple of the worker count —
+#: finer than the pool so a winner can cancel still-pending ranges.
+SHARD_FACTOR = 4
+
+#: A level this small is scanned as a single shard (pool overhead
+#: would dominate).
+MIN_SHARDED_SPACE = 4096
+
+
+@dataclass(frozen=True)
+class Budget:
+    """A wall-clock budget shared by every engine of a portfolio run.
+
+    ``deadline`` is absolute (``time.time()``); ``None`` means
+    unlimited.  The object is immutable and picklable, so one budget
+    threads through the dispatcher, the chase, and every search shard
+    in every worker process.
+    """
+
+    deadline: float | None = None
+
+    @classmethod
+    def from_seconds(cls, seconds: float | None) -> "Budget":
+        """A budget expiring ``seconds`` from now (``None`` = none)."""
+        if seconds is None:
+            return cls(deadline=None)
+        return cls(deadline=time.time() + seconds)
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and time.time() > self.deadline
+
+    def remaining(self) -> float | None:
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.time())
+
+
+@dataclass
+class CountermodelOutcome:
+    """Aggregate of an (un)typed counter-model search run."""
+
+    graph: Graph | None = None
+    certificate: object = None
+    examined: int = 0
+    canonical: int = 0
+    exhausted: bool = True
+    elapsed: float = 0.0
+    levels: tuple[int, ...] = ()
+
+    @property
+    def outcome_label(self) -> str:
+        if self.graph is not None:
+            return "hit"
+        return "exhausted" if self.exhausted else "budget"
+
+
+# ---------------------------------------------------------------------------
+# Pool tasks (top-level, picklable).
+# ---------------------------------------------------------------------------
+
+
+def _chase_task(
+    sigma: tuple[PathConstraint, ...],
+    phi: PathConstraint,
+    max_steps: int,
+    deadline: float | None,
+) -> tuple[ImplicationResult, float]:
+    began = time.perf_counter()
+    result = chase_implication(
+        sigma, phi, max_steps=max_steps, deadline=deadline
+    )
+    return result, time.perf_counter() - began
+
+
+def _shard_task(
+    node_count: int,
+    labels: tuple[str, ...],
+    sigma: tuple[PathConstraint, ...],
+    phi: PathConstraint,
+    start: int,
+    stop: int,
+    deadline: float | None,
+) -> ShardReport:
+    space = CodeSpace(node_count, labels)
+    return scan_codes(space, sigma, phi, start, stop, deadline=deadline)
+
+
+def _typed_shard_task(
+    schema: Schema,
+    sigma: tuple[PathConstraint, ...],
+    phi: PathConstraint,
+    max_oids: int,
+    max_set_size: int,
+    limit: int,
+    shard_index: int,
+    shard_count: int,
+    deadline: float | None,
+) -> TypedShardReport:
+    return scan_typed_instances(
+        schema,
+        sigma,
+        phi,
+        max_oids=max_oids,
+        max_set_size=max_set_size,
+        limit=limit,
+        shard_index=shard_index,
+        shard_count=shard_count,
+        deadline=deadline,
+    )
+
+
+def _plan_shards(total: int, shard_count: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into contiguous bit-prefix ranges."""
+    shard_count = max(1, min(shard_count, total))
+    width, remainder = divmod(total, shard_count)
+    ranges = []
+    start = 0
+    for i in range(shard_count):
+        stop = start + width + (1 if i < remainder else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+# ---------------------------------------------------------------------------
+# The chase engine wrapper (used by both modes).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ChaseState:
+    """Bookkeeping for the proof-search engine during a race."""
+
+    result: ImplicationResult | None = None
+    stats: EngineStats | None = None
+
+    def absorb(self, payload: tuple[ImplicationResult, float]) -> None:
+        result, elapsed = payload
+        self.result = result
+        steps = getattr(result.certificate, "steps", 0)
+        self.stats = EngineStats(
+            engine="chase",
+            outcome=result.answer.value,
+            candidates=steps,
+            elapsed=elapsed,
+        )
+
+    @property
+    def definite(self) -> bool:
+        return self.result is not None and self.result.answer.is_definite
+
+
+# ---------------------------------------------------------------------------
+# Counter-model search: sequential and sharded-parallel drivers.
+# ---------------------------------------------------------------------------
+
+
+def _sequential_countermodel(
+    sigma: Sequence[PathConstraint],
+    phi: PathConstraint,
+    labels: tuple[str, ...],
+    max_nodes: int,
+    budget: Budget,
+) -> CountermodelOutcome:
+    began = time.perf_counter()
+    out = CountermodelOutcome(levels=tuple(range(1, max_nodes + 1)))
+    for node_count in range(1, max_nodes + 1):
+        space = CodeSpace(node_count, labels)
+        report = scan_codes(
+            space, sigma, phi, deadline=budget.deadline
+        )
+        out.examined += report.examined
+        out.canonical += report.canonical
+        if report.hit is not None:
+            out.graph = space.to_graph(report.hit)
+            break
+        if not report.exhausted:
+            out.exhausted = False
+            break
+    out.elapsed = time.perf_counter() - began
+    return out
+
+
+class _RaceInterrupted(Exception):
+    """Raised inside the shard-combine loop when the chase wins."""
+
+
+def _drain_levels(
+    pool: ProcessPoolExecutor,
+    sigma: tuple[PathConstraint, ...],
+    phi: PathConstraint,
+    labels: tuple[str, ...],
+    max_nodes: int,
+    jobs: int,
+    budget: Budget,
+    chase_future: Future | None,
+    chase_state: _ChaseState,
+) -> CountermodelOutcome:
+    """Run the sharded level-by-level scan, racing ``chase_future``.
+
+    Raises :class:`_RaceInterrupted` as soon as the chase returns a
+    definite answer (after cancelling pending shards) — the caller
+    already holds the chase result in ``chase_state``.
+    """
+    began = time.perf_counter()
+    out = CountermodelOutcome(levels=tuple(range(1, max_nodes + 1)))
+
+    def cancel_all(futures: list[Future]) -> None:
+        for future in futures:
+            future.cancel()
+
+    watching_chase = chase_future is not None
+    for node_count in range(1, max_nodes + 1):
+        space = CodeSpace(node_count, labels)
+        shard_count = (
+            1
+            if space.total <= MIN_SHARDED_SPACE
+            else jobs * SHARD_FACTOR
+        )
+        ranges = _plan_shards(space.total, shard_count)
+        futures = [
+            pool.submit(
+                _shard_task,
+                node_count,
+                labels,
+                sigma,
+                phi,
+                start,
+                stop,
+                budget.deadline,
+            )
+            for start, stop in ranges
+        ]
+        reports: dict[Future, ShardReport] = {}
+        # Resolve shards in range order: the winner is the hit of the
+        # lowest range whose predecessors exhausted hitless — the
+        # sequential scan order, whatever the completion order.
+        resolved = 0
+        while resolved < len(futures):
+            pending = {f for f in futures if f not in reports}
+            if watching_chase:
+                pending.add(chase_future)
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            if watching_chase and chase_future in done:
+                chase_state.absorb(chase_future.result())
+                watching_chase = False
+                if chase_state.definite:
+                    cancel_all(futures)
+                    out.exhausted = False
+                    out.elapsed = time.perf_counter() - began
+                    raise _RaceInterrupted
+            for future in done:
+                if future is chase_future:
+                    continue
+                reports[future] = future.result()
+            # Walk ranges in order as far as completed reports go.
+            while resolved < len(futures):
+                future = futures[resolved]
+                if future not in reports:
+                    break
+                report = reports[future]
+                out.examined += report.examined
+                out.canonical += report.canonical
+                if report.hit is not None:
+                    cancel_all(futures[resolved + 1 :])
+                    out.graph = space.to_graph(report.hit)
+                    out.elapsed = time.perf_counter() - began
+                    return out
+                if not report.exhausted:
+                    # Budget expired inside this range: everything
+                    # beyond it is unexplored.
+                    cancel_all(futures[resolved + 1 :])
+                    out.exhausted = False
+                    out.elapsed = time.perf_counter() - began
+                    return out
+                resolved += 1
+    out.elapsed = time.perf_counter() - began
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Public API.
+# ---------------------------------------------------------------------------
+
+
+def parallel_countermodel_search(
+    sigma: Sequence[PathConstraint],
+    phi: PathConstraint,
+    labels: Sequence[str] | None = None,
+    max_nodes: int = 3,
+    jobs: int = 1,
+    budget: Budget | None = None,
+) -> CountermodelOutcome:
+    """Canonical counter-model search, sharded across ``jobs`` workers.
+
+    Deterministic: returns the same counter-model as the sequential
+    canonical scan for any ``jobs`` (budget expiry aside).  With
+    ``jobs <= 1`` no pool is created at all.
+    """
+    sigma = tuple(sigma)
+    budget = budget or Budget()
+    if labels is None:
+        labels = infer_alphabet(sigma, phi)
+    labels = tuple(labels)
+    if jobs <= 1:
+        return _sequential_countermodel(sigma, phi, labels, max_nodes, budget)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return _drain_levels(
+            pool,
+            sigma,
+            phi,
+            labels,
+            max_nodes,
+            jobs,
+            budget,
+            chase_future=None,
+            chase_state=_ChaseState(),
+        )
+
+
+def parallel_find_countermodel(
+    sigma: Sequence[PathConstraint],
+    phi: PathConstraint,
+    labels: Sequence[str] | None = None,
+    max_nodes: int = 3,
+    jobs: int = 1,
+    budget: Budget | None = None,
+) -> Graph | None:
+    """Like :func:`repro.reasoning.models.find_countermodel`, sharded
+    across ``jobs`` worker processes."""
+    return parallel_countermodel_search(
+        sigma, phi, labels=labels, max_nodes=max_nodes, jobs=jobs, budget=budget
+    ).graph
+
+
+def _typed_parallel(
+    pool: ProcessPoolExecutor,
+    schema: Schema,
+    sigma: tuple[PathConstraint, ...],
+    phi: PathConstraint,
+    jobs: int,
+    budget: Budget,
+    limit: int,
+    max_oids: int,
+    max_set_size: int,
+    chase_future: Future | None,
+    chase_state: _ChaseState,
+) -> CountermodelOutcome:
+    """Stride-sharded ``U_f(Delta)`` scan racing the chase.
+
+    Strides interleave, so every shard must finish before the minimal
+    hit index is known; shards early-exit at their own first hit.
+    """
+    began = time.perf_counter()
+    out = CountermodelOutcome()
+    futures = [
+        pool.submit(
+            _typed_shard_task,
+            schema,
+            sigma,
+            phi,
+            max_oids,
+            max_set_size,
+            limit,
+            shard_index,
+            jobs,
+            budget.deadline,
+        )
+        for shard_index in range(jobs)
+    ]
+    reports: list[TypedShardReport] = []
+    watching_chase = chase_future is not None
+    pending = set(futures)
+    while pending:
+        wait_set = set(pending)
+        if watching_chase and not chase_future.done():
+            wait_set.add(chase_future)
+        done, _ = wait(wait_set, return_when=FIRST_COMPLETED)
+        if watching_chase and chase_future in done:
+            chase_state.absorb(chase_future.result())
+            watching_chase = False
+            # Only a chase TRUE transfers to the typed context; FALSE
+            # from an untyped fixpoint proves nothing over U_f(Delta).
+            if chase_state.result.answer is Trilean.TRUE:
+                for future in futures:
+                    future.cancel()
+                out.exhausted = False
+                out.elapsed = time.perf_counter() - began
+                raise _RaceInterrupted
+        for future in done:
+            if future is chase_future:
+                continue
+            reports.append(future.result())
+            pending.discard(future)
+    out.examined = sum(r.examined for r in reports)
+    out.exhausted = all(r.exhausted for r in reports)
+    hits = [r for r in reports if r.hit_index is not None]
+    if hits:
+        best = min(hits, key=lambda r: r.hit_index)
+        out.graph = best.graph
+        out.certificate = best.instance
+    out.elapsed = time.perf_counter() - began
+    return out
+
+
+def _sequential_typed(
+    schema: Schema,
+    sigma: tuple[PathConstraint, ...],
+    phi: PathConstraint,
+    budget: Budget,
+    limit: int,
+    max_oids: int,
+    max_set_size: int,
+) -> CountermodelOutcome:
+    report = scan_typed_instances(
+        schema,
+        sigma,
+        phi,
+        max_oids=max_oids,
+        max_set_size=max_set_size,
+        limit=limit,
+        deadline=budget.deadline,
+    )
+    return CountermodelOutcome(
+        graph=report.graph,
+        certificate=report.instance,
+        examined=report.examined,
+        exhausted=report.exhausted,
+        elapsed=report.elapsed,
+    )
+
+
+def run_portfolio(
+    problem,
+    jobs: int = 1,
+    budget: Budget | None = None,
+    chase_steps: int = DEFAULT_CHASE_STEPS,
+    countermodel_nodes: int = 3,
+    typed_search_limit: int = 2_000,
+    typed_max_oids: int = 2,
+    typed_max_set_size: int = 2,
+) -> ImplicationResult:
+    """Semi-decide an undecidable-cell implication with a portfolio.
+
+    ``problem`` is an :class:`repro.reasoning.dispatcher
+    .ImplicationProblem` in an undecidable (fragment, context) cell.
+    With ``jobs <= 1`` the engines run sequentially in-process (chase
+    first, then counter-model search — the seed pipeline); with
+    ``jobs > 1`` they race across a process pool with first-winner
+    cancellation.  Every returned result carries per-engine
+    :class:`EngineStats`.
+    """
+    # Imported here: dispatcher imports this module's Budget/run_portfolio.
+    from repro.reasoning.dispatcher import Context, classify
+
+    budget = budget or Budget()
+    sigma = tuple(problem.sigma)
+    phi = problem.phi
+    context = problem.context
+    problem_class = classify(sigma, phi)
+    labels = infer_alphabet(sigma, phi)
+    notes = [
+        f"{problem_class.value} over {context.value}: undecidable "
+        "problem class; semi-decision with explicit budgets",
+        f"portfolio: jobs={jobs}, "
+        + (
+            f"deadline in {budget.remaining():.3f}s"
+            if budget.deadline is not None
+            else "no deadline"
+        ),
+    ]
+    untyped = context is Context.SEMISTRUCTURED
+
+    chase_state = _ChaseState()
+    if jobs <= 1:
+        chase_state.absorb(
+            _chase_task(sigma, phi, chase_steps, budget.deadline)
+        )
+        if untyped and chase_state.definite:
+            return _finish_chase_win(chase_state, notes, untyped=True)
+        if not untyped and chase_state.result.answer is Trilean.TRUE:
+            return _finish_chase_win(chase_state, notes, untyped=False)
+        if untyped:
+            search = _sequential_countermodel(
+                sigma, phi, labels, countermodel_nodes, budget
+            )
+        else:
+            search = _sequential_typed(
+                problem.schema,
+                sigma,
+                phi,
+                budget,
+                typed_search_limit,
+                typed_max_oids,
+                typed_max_set_size,
+            )
+        return _combine(
+            chase_state, search, notes, untyped, countermodel_nodes, jobs
+        )
+
+    # Not a ``with`` block: Executor.__exit__ joins running tasks, but
+    # first-winner cancellation wants to return the moment a certificate
+    # exists.  shutdown(wait=False, cancel_futures=True) drops pending
+    # work; an already-running loser finishes in its worker process and
+    # is discarded.
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        chase_future = pool.submit(
+            _chase_task, sigma, phi, chase_steps, budget.deadline
+        )
+        try:
+            if untyped:
+                search = _drain_levels(
+                    pool,
+                    sigma,
+                    phi,
+                    labels,
+                    countermodel_nodes,
+                    jobs,
+                    budget,
+                    chase_future,
+                    chase_state,
+                )
+            else:
+                search = _typed_parallel(
+                    pool,
+                    problem.schema,
+                    sigma,
+                    phi,
+                    jobs,
+                    budget,
+                    typed_search_limit,
+                    typed_max_oids,
+                    typed_max_set_size,
+                    chase_future,
+                    chase_state,
+                )
+        except _RaceInterrupted:
+            return _finish_chase_win(chase_state, notes, untyped)
+        if search.graph is not None:
+            # Refutation certificate in hand; the chase can stop.
+            chase_future.cancel()
+        elif chase_state.result is None:
+            # Search exhausted/budgeted without the chase finishing:
+            # its verdict is the only hope left, so wait for it.
+            chase_state.absorb(chase_future.result())
+            if untyped and chase_state.definite:
+                return _finish_chase_win(chase_state, notes, untyped=True)
+            if not untyped and chase_state.result.answer is Trilean.TRUE:
+                return _finish_chase_win(chase_state, notes, untyped=False)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return _combine(
+        chase_state, search, notes, untyped, countermodel_nodes, jobs
+    )
+
+
+def _search_stats(
+    search: CountermodelOutcome, untyped: bool, jobs: int
+) -> EngineStats:
+    engine = "countermodel" if untyped else "typed-countermodel"
+    detail = f"jobs={jobs}"
+    if untyped:
+        detail += f", canonical={search.canonical}"
+    return EngineStats(
+        engine=engine,
+        outcome=search.outcome_label,
+        candidates=search.examined,
+        elapsed=search.elapsed,
+        detail=detail,
+    )
+
+
+def _collect_stats(
+    chase_state: _ChaseState, search_stats: EngineStats | None
+) -> tuple[EngineStats, ...]:
+    stats = []
+    if chase_state.stats is not None:
+        stats.append(chase_state.stats)
+    else:
+        stats.append(
+            EngineStats(engine="chase", outcome="cancelled")
+        )
+    if search_stats is not None:
+        stats.append(search_stats)
+    return tuple(stats)
+
+
+def _finish_chase_win(
+    chase_state: _ChaseState, notes: list[str], untyped: bool
+) -> ImplicationResult:
+    chased = chase_state.result
+    stats = _collect_stats(chase_state, None)
+    if untyped:
+        chased.notes = tuple(notes) + chased.notes
+        chased.stats = stats
+        return chased
+    # Typed context: only TRUE lands here, and it transfers because
+    # U(Delta) is a subclass of all structures.
+    return ImplicationResult(
+        answer=Trilean.TRUE,
+        method="chase(untyped, transfers)",
+        decidable=False,
+        certificate=chased.certificate,
+        notes=tuple(notes),
+        stats=stats,
+    )
+
+
+def _combine(
+    chase_state: _ChaseState,
+    search: CountermodelOutcome,
+    notes: list[str],
+    untyped: bool,
+    countermodel_nodes: int,
+    jobs: int,
+) -> ImplicationResult:
+    stats = _collect_stats(chase_state, _search_stats(search, untyped, jobs))
+    if search.graph is not None:
+        if untyped:
+            return ImplicationResult(
+                answer=Trilean.FALSE,
+                method="bounded-countermodel",
+                decidable=False,
+                countermodel=search.graph,
+                notes=tuple(notes),
+                stats=stats,
+            )
+        return ImplicationResult(
+            answer=Trilean.FALSE,
+            method="typed-instance-countermodel",
+            decidable=False,
+            countermodel=search.graph,
+            certificate=search.certificate,
+            notes=tuple(notes),
+            stats=stats,
+        )
+    if untyped and not search.exhausted:
+        notes = notes + [
+            f"countermodel search stopped by budget before exhausting "
+            f"{countermodel_nodes}-node bound"
+        ]
+    chased = chase_state.result
+    extra = chased.notes if chased is not None else ()
+    method = (
+        "chase+bounded-countermodel" if untyped else "chase+typed-countermodel"
+    )
+    return ImplicationResult(
+        answer=Trilean.UNKNOWN,
+        method=method,
+        decidable=False,
+        notes=tuple(notes) + tuple(extra),
+        stats=stats,
+    )

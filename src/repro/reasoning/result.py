@@ -19,6 +19,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.reasoning.axioms import IrProof
 
 
+@dataclass(frozen=True)
+class EngineStats:
+    """Per-engine accounting for a portfolio (or sequential) run.
+
+    ``candidates`` means chase steps for the proof engine and examined
+    candidates for the counter-model engines; ``outcome`` is the
+    engine's own verdict (``true``/``false``/``unknown`` for the
+    chase, ``hit``/``exhausted``/``budget``/``cancelled`` for the
+    searches), independent of which engine won the race.
+    """
+
+    engine: str
+    outcome: str
+    candidates: int = 0
+    elapsed: float = 0.0
+    detail: str = ""
+
+    def describe(self) -> str:
+        parts = [f"{self.engine}: {self.outcome}"]
+        parts.append(f"{self.candidates} candidates")
+        parts.append(f"{self.elapsed * 1e3:.1f} ms")
+        if self.detail:
+            parts.append(self.detail)
+        return ", ".join(parts)
+
+
 @dataclass
 class ImplicationResult:
     """Answer to "does Sigma (finitely) imply phi?" in some context.
@@ -38,6 +64,7 @@ class ImplicationResult:
     countermodel: "Graph | None" = None
     certificate: Any = None
     notes: tuple[str, ...] = field(default_factory=tuple)
+    stats: tuple[EngineStats, ...] = field(default_factory=tuple)
 
     @property
     def implied(self) -> bool:
@@ -59,6 +86,8 @@ class ImplicationResult:
             parts.append(
                 f"countermodel={self.countermodel.node_count()} nodes"
             )
+        for engine in self.stats:
+            parts.append(f"engine[{engine.describe()}]")
         for note in self.notes:
             parts.append(f"note={note}")
         return "; ".join(parts)

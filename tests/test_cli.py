@@ -97,6 +97,29 @@ class TestImply:
         assert rc == 3
         assert "error:" in capsys.readouterr().err
 
+    def test_jobs_and_deadline_flags(self, workspace, capsys):
+        _, _, sigma = workspace
+        rc = main(
+            [
+                "imply", sigma, "person :: wrote ~> author",
+                "--jobs", "2", "--deadline", "30",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "answer:     false" in out
+        assert "engine:" in out
+        assert "portfolio: jobs=2" in out
+
+    def test_deadline_zero_reports_unknown(self, workspace, capsys):
+        _, _, sigma = workspace
+        rc = main(
+            ["imply", sigma, "person :: wrote ~> author", "--deadline", "0"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 2  # UNKNOWN exit code
+        assert "answer:     unknown" in out
+
     def test_missing_schema_for_typed_context(self, workspace):
         _, _, sigma = workspace
         rc = main(["imply", sigma, "a => b", "--context", "M"])

@@ -7,11 +7,27 @@ from repro.checking.engine import satisfies_all
 from repro.constraints import parse_constraint, parse_constraints
 from repro.reasoning.models import (
     all_graphs,
+    brute_force_countermodel,
     find_countermodel,
     find_typed_countermodel,
+    infer_alphabet,
     random_countermodel,
 )
 from repro.types.typecheck import check_type_constraint
+
+
+class TestInferAlphabet:
+    def test_union_of_sigma_and_phi_labels(self):
+        sigma = parse_constraints("a => b\nK :: c ~> a")
+        phi = parse_constraint("d => a")
+        assert infer_alphabet(sigma, phi) == ("K", "a", "b", "c", "d")
+
+    def test_sorted_and_deduplicated(self):
+        sigma = parse_constraints("b => a\na => b")
+        assert infer_alphabet(sigma) == ("a", "b")
+
+    def test_phi_optional(self):
+        assert infer_alphabet(parse_constraints("x => y")) == ("x", "y")
 
 
 class TestExhaustiveSearch:
@@ -44,6 +60,24 @@ class TestExhaustiveSearch:
         graph = find_countermodel(sigma, phi, max_nodes=2)
         assert graph is not None
         assert not check(graph, phi).holds
+
+
+class TestBruteForceOracle:
+    def test_agrees_with_canonical_search_on_hit(self):
+        sigma = parse_constraints("a => b")
+        phi = parse_constraint("b => a")
+        brute = brute_force_countermodel(sigma, phi, max_nodes=2)
+        fast = find_countermodel(sigma, phi, max_nodes=2)
+        assert brute is not None and fast is not None
+        for graph in (brute, fast):
+            assert satisfies_all(graph, sigma)
+            assert not check(graph, phi).holds
+
+    def test_agrees_with_canonical_search_on_implied(self):
+        sigma = parse_constraints("a => b")
+        phi = parse_constraint("a.c => b.c")
+        assert brute_force_countermodel(sigma, phi, max_nodes=2) is None
+        assert find_countermodel(sigma, phi, max_nodes=2) is None
 
 
 class TestRandomSearch:
