@@ -5,5 +5,14 @@
 # Tier-1 correctness (scripts/tier1.sh) never runs these.
 set -eu
 cd "$(dirname "$0")/.."
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    exec python -m pytest benchmarks/ -m bench -s "$@"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+# Long differential sweep: several seeds, many instances per fragment,
+# machine-readable report next to the BENCH_*.json files.
+for seed in 0 1 2; do
+    python -m repro fuzz --seed "$seed" --per-fragment 200 \
+        --deadline 300 --json-out "FUZZ_seed$seed.json"
+done
+
+exec python -m pytest benchmarks/ -m bench -s "$@"

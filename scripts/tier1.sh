@@ -4,4 +4,13 @@
 # use scripts/bench.sh for the performance suite.
 set -eu
 cd "$(dirname "$0")/.."
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest -x -q "$@"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+# Differential smoke: a fixed-seed cross-validation sweep of every
+# Table 1 engine must report zero disagreements.  No --deadline, so
+# the sweep is deterministic run-to-run; scripts/bench.sh runs the
+# longer multi-seed sweep.
+python -m repro fuzz --seed 7 --per-fragment 25
+
+exec python -m pytest -x -q "$@"

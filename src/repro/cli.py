@@ -20,6 +20,10 @@ Commands
     Repair a graph to satisfy the constraints; writes the chased graph.
 ``dot GRAPH``
     Print a Graphviz rendering of a graph file.
+``fuzz [--seed N] [--per-fragment N] [--deadline S] [--json-out FILE]``
+    Differential cross-validation: random instances per fragment, every
+    applicable engine, three-valued disagreement detection, and a
+    delta-debugging shrinker; exit 1 on any disagreement.
 
 Constraint files use the line syntax (``#`` comments allowed)::
 
@@ -77,6 +81,22 @@ def _cmd_imply(args: argparse.Namespace) -> int:
     context = Context(args.context)
     schema = _load_schema(args.schema) if args.schema else None
     problem = ImplicationProblem(sigma, phi, context, schema=schema)
+    decidable, _ = table1_cell(classify(sigma, phi), context)
+    if decidable:
+        # The portfolio knobs only drive the semi-decision pipeline;
+        # telling the user beats silently ignoring their flags.
+        if args.jobs != 1:
+            print(
+                "warning: --jobs ignored (decidable cell runs the "
+                "complete decider in-process)",
+                file=sys.stderr,
+            )
+        if args.deadline is not None and context is not Context.SEMISTRUCTURED:
+            print(
+                "warning: --deadline ignored (the cubic M decider "
+                "always terminates)",
+                file=sys.stderr,
+            )
     result = solve(
         problem,
         allow_semidecision=not args.strict,
@@ -97,9 +117,11 @@ def _cmd_imply(args: argparse.Namespace) -> int:
         print("proof (I_r):")
         print(result.proof.describe())
     if result.countermodel is not None:
+        hint = "" if args.dump_countermodel else (
+            " (use --dump-countermodel to save)"
+        )
         print(
-            f"countermodel: {result.countermodel.node_count()} nodes "
-            f"(use --dump-countermodel to save)"
+            f"countermodel: {result.countermodel.node_count()} nodes{hint}"
         )
         if args.dump_countermodel:
             with open(args.dump_countermodel, "w") as handle:
@@ -138,6 +160,46 @@ def _cmd_chase(args: argparse.Namespace) -> int:
 def _cmd_dot(args: argparse.Namespace) -> int:
     print(to_dot(_load_graph(args.graph)))
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.diffcheck import fuzz
+    from repro.diffcheck.oracles import OracleConfig
+
+    jobs = tuple(
+        sorted({int(j) for j in args.portfolio_jobs.split(",") if j.strip()})
+    )
+    report = fuzz(
+        seed=args.seed,
+        per_fragment=args.per_fragment,
+        deadline=args.deadline,
+        fragments=args.fragment or None,
+        config=OracleConfig(portfolio_jobs=jobs),
+        shrink=not args.no_shrink,
+    )
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"report written to {args.json_out}", file=sys.stderr)
+    print(report.summary())
+    for record in report.disagreements:
+        print()
+        print(
+            f"DISAGREEMENT [{record.fragment} seed={record.seed} "
+            f"index={record.index}] {record.kind}: "
+            + " vs ".join(
+                f"{e}={a}"
+                for e, a in zip(record.engines, record.answers)
+            )
+        )
+        print("  shrunk sigma:")
+        for line in record.shrunk_sigma:
+            print(f"    {line}")
+        print(f"  shrunk phi:   {record.shrunk_phi}")
+        print("  regression test:")
+        for line in record.regression_test.splitlines():
+            print(f"    {line}")
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,6 +261,49 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dot", help="render a graph file as Graphviz DOT")
     p.add_argument("graph")
     p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential cross-validation of all Table 1 engines",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--per-fragment",
+        type=int,
+        default=25,
+        metavar="N",
+        help="instances per fragment generator",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole sweep",
+    )
+    p.add_argument(
+        "--fragment",
+        action="append",
+        metavar="NAME",
+        help="restrict to one generator (repeatable); default: all",
+    )
+    p.add_argument(
+        "--portfolio-jobs",
+        default="1,4",
+        metavar="N,M",
+        help="comma-separated job counts to race the portfolio at",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw disagreements without delta-debugging them",
+    )
+    p.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="write the machine-readable report here",
+    )
+    p.set_defaults(func=_cmd_fuzz)
 
     return parser
 

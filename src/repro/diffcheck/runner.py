@@ -1,0 +1,295 @@
+"""The ``repro fuzz`` driver: generate, cross-check, shrink, report.
+
+One :func:`fuzz` call sweeps every fragment generator, runs each
+instance through the engine matrix, and — for every disagreement —
+builds a *reproducer* predicate (the exact engine pair re-run on the
+candidate) and hands it to the delta-debugging shrinker.  The result
+is a :class:`FuzzReport` that is JSON-serializable for CI and carries
+a ready-to-paste regression test per (shrunk) disagreement.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.constraints.ast import PathConstraint
+from repro.truth import Trilean
+
+from repro.diffcheck.generators import (
+    FRAGMENT_GENERATORS,
+    FragmentInstance,
+    generate_instance,
+)
+from repro.diffcheck.oracles import (
+    Disagreement,
+    OracleConfig,
+    find_disagreements,
+    run_engines,
+    run_named_engine,
+    with_deadline,
+)
+from repro.diffcheck.shrink import emit_regression_test, shrink_instance
+
+
+@dataclass
+class DisagreementRecord:
+    """One fuzz hit: the original instance, its shrunk core, the test."""
+
+    fragment: str
+    seed: int
+    index: int
+    kind: str
+    engines: tuple[str, ...]
+    answers: tuple[str, ...]
+    detail: str
+    original_sigma: tuple[str, ...]
+    original_phi: str
+    shrunk_sigma: tuple[str, ...]
+    shrunk_phi: str
+    regression_test: str
+
+    def to_dict(self) -> dict:
+        return {
+            "fragment": self.fragment,
+            "seed": self.seed,
+            "index": self.index,
+            "kind": self.kind,
+            "engines": list(self.engines),
+            "answers": list(self.answers),
+            "detail": self.detail,
+            "original": {
+                "sigma": list(self.original_sigma),
+                "phi": self.original_phi,
+            },
+            "shrunk": {
+                "sigma": list(self.shrunk_sigma),
+                "phi": self.shrunk_phi,
+            },
+            "regression_test": self.regression_test,
+        }
+
+
+@dataclass
+class FragmentStats:
+    """Per-fragment tallies for the report."""
+
+    instances: int = 0
+    engine_runs: int = 0
+    definite_true: int = 0
+    definite_false: int = 0
+    unknown: int = 0
+    disagreements: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "instances": self.instances,
+            "engine_runs": self.engine_runs,
+            "definite_true": self.definite_true,
+            "definite_false": self.definite_false,
+            "unknown": self.unknown,
+            "disagreements": self.disagreements,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Everything one fuzz sweep learned, machine-readable."""
+
+    seed: int
+    per_fragment: int
+    fragments: dict[str, FragmentStats] = field(default_factory=dict)
+    disagreements: list[DisagreementRecord] = field(default_factory=list)
+    elapsed: float = 0.0
+    deadline_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the sweep found zero disagreements."""
+        return not self.disagreements
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "per_fragment": self.per_fragment,
+            "ok": self.ok,
+            "elapsed": round(self.elapsed, 3),
+            "deadline_hit": self.deadline_hit,
+            "fragments": {
+                name: stats.to_dict()
+                for name, stats in self.fragments.items()
+            },
+            "disagreements": [d.to_dict() for d in self.disagreements],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        """A short human-readable verdict for the CLI."""
+        total = sum(s.instances for s in self.fragments.values())
+        runs = sum(s.engine_runs for s in self.fragments.values())
+        lines = [
+            f"fuzz seed={self.seed}: {total} instances, {runs} engine runs, "
+            f"{len(self.disagreements)} disagreement(s) "
+            f"in {self.elapsed:.1f}s"
+            + (" [deadline hit]" if self.deadline_hit else "")
+        ]
+        for name, stats in self.fragments.items():
+            lines.append(
+                f"  {name:<12} n={stats.instances:<4} "
+                f"T={stats.definite_true:<4} F={stats.definite_false:<4} "
+                f"?={stats.unknown:<4} disagreements={stats.disagreements}"
+            )
+        return "\n".join(lines)
+
+
+def make_reproducer(
+    instance: FragmentInstance,
+    disagreement: Disagreement,
+    config: OracleConfig,
+    extra=None,
+) -> Callable[[tuple[PathConstraint, ...], PathConstraint], bool]:
+    """A shrink predicate replaying exactly the disagreeing engines.
+
+    For a definite conflict the candidate must make the *same* engine
+    pair contradict again (any definite-vs-definite flavour counts, so
+    the shrinker may legitimately simplify TRUE-vs-FALSE into
+    FALSE-vs-TRUE); for a bad certificate the same engine must produce
+    a failing certificate again.
+    """
+    schema = instance.schema
+
+    def reproduces(
+        sigma: tuple[PathConstraint, ...], phi: PathConstraint
+    ) -> bool:
+        verdicts = [
+            run_named_engine(
+                name, sigma, phi, schema=schema, config=config, extra=extra
+            )
+            for name in disagreement.engines
+        ]
+        if disagreement.kind == "bad-certificate":
+            return any(v.certificate_ok is False for v in verdicts)
+        definite = [v for v in verdicts if v.answer.is_definite]
+        return any(
+            a.answer is not b.answer
+            for i, a in enumerate(definite)
+            for b in definite[i + 1:]
+        )
+
+    return reproduces
+
+
+def _strs(sigma: Sequence[PathConstraint]) -> tuple[str, ...]:
+    return tuple(str(psi) for psi in sigma)
+
+
+def fuzz(
+    seed: int = 0,
+    per_fragment: int = 10,
+    deadline: float | None = None,
+    fragments: Sequence[str] | None = None,
+    config: OracleConfig | None = None,
+    shrink: bool = True,
+    extra=None,
+) -> FuzzReport:
+    """Run one differential sweep.
+
+    ``deadline`` is a *relative* budget in seconds for the whole sweep
+    (converted to an absolute one internally and threaded into every
+    engine); instances past it are skipped and the report says so.
+    ``fragments`` restricts the sweep to named generators; ``extra``
+    injects additional engines (the tests use this to plant a
+    deliberately broken decider and watch the pipeline catch it).
+    """
+    began = time.time()
+    absolute = None if deadline is None else began + deadline
+    config = with_deadline(config or OracleConfig(), absolute)
+    names = list(fragments) if fragments is not None else list(
+        FRAGMENT_GENERATORS
+    )
+    unknown = [n for n in names if n not in FRAGMENT_GENERATORS]
+    if unknown:
+        raise ValueError(
+            f"unknown fragment(s) {unknown}; "
+            f"have {sorted(FRAGMENT_GENERATORS)}"
+        )
+
+    report = FuzzReport(seed=seed, per_fragment=per_fragment)
+    for name in names:
+        stats = report.fragments.setdefault(name, FragmentStats())
+        for index in range(per_fragment):
+            if absolute is not None and time.time() > absolute:
+                report.deadline_hit = True
+                break
+            instance = generate_instance(name, seed, index)
+            verdicts = run_engines(instance, config, extra=extra)
+            stats.instances += 1
+            stats.engine_runs += len(verdicts)
+            for v in verdicts:
+                if v.answer is Trilean.TRUE:
+                    stats.definite_true += 1
+                elif v.answer is Trilean.FALSE:
+                    stats.definite_false += 1
+                else:
+                    stats.unknown += 1
+            for disagreement in find_disagreements(verdicts):
+                stats.disagreements += 1
+                report.disagreements.append(
+                    _record(
+                        instance,
+                        disagreement,
+                        seed,
+                        index,
+                        config,
+                        shrink,
+                        extra,
+                    )
+                )
+        if report.deadline_hit:
+            break
+    report.elapsed = time.time() - began
+    return report
+
+
+def _record(
+    instance: FragmentInstance,
+    disagreement: Disagreement,
+    seed: int,
+    index: int,
+    config: OracleConfig,
+    shrink: bool,
+    extra,
+) -> DisagreementRecord:
+    shrunk_sigma, shrunk_phi = instance.sigma, instance.phi
+    if shrink:
+        reproduces = make_reproducer(instance, disagreement, config, extra)
+        shrunk_sigma, shrunk_phi = shrink_instance(
+            instance.sigma, instance.phi, reproduces
+        )
+    test = emit_regression_test(
+        shrunk_sigma,
+        shrunk_phi,
+        disagreement.engines,
+        disagreement.answers,
+        schema=instance.schema,
+        kind=disagreement.kind,
+        seed_note=f"fragment={instance.fragment} seed={seed} index={index}",
+    )
+    return DisagreementRecord(
+        fragment=instance.fragment,
+        seed=seed,
+        index=index,
+        kind=disagreement.kind,
+        engines=disagreement.engines,
+        answers=disagreement.answers,
+        detail=disagreement.detail,
+        original_sigma=_strs(instance.sigma),
+        original_phi=str(instance.phi),
+        shrunk_sigma=_strs(shrunk_sigma),
+        shrunk_phi=str(shrunk_phi),
+        regression_test=test,
+    )

@@ -1,0 +1,220 @@
+"""Delta-debugging shrinker for disagreeing instances.
+
+A fuzz hit is rarely minimal: the generators emit 2-4 premises with
+paths up to four labels, while the underlying bug usually needs one or
+two.  :func:`shrink_instance` greedily minimizes ``(sigma, phi)``
+while a caller-supplied ``reproduces`` predicate keeps returning True:
+
+1. drop whole premises, one at a time, largest index first;
+2. shorten individual paths (the prefix/lhs/rhs of each premise and
+   of the query) by dropping their first or last label.
+
+Each pass restarts after any successful reduction, so the loop runs to
+a fixpoint: no single drop or shortening preserves the disagreement.
+That is the classic ddmin granularity-1 guarantee — the result is
+1-minimal, not globally minimal, which in practice lands on 1-3
+premises for every seeded bug we inject.
+
+The predicate is called on *candidate* instances that may fall outside
+the original fragment (dropping a premise can turn a P_w(K) set into
+plain P_w, shortening can leave ``Paths(Delta)`` on typed instances).
+Engines already abstain with UNKNOWN on what they cannot handle;
+:func:`shrink_instance` additionally treats a predicate *exception* as
+"does not reproduce", so the search never crashes mid-shrink.
+
+:func:`emit_regression_test` renders the minimized instance as a
+self-contained pytest function built on
+:func:`repro.diffcheck.oracles.run_named_engine` — ready to paste into
+``tests/`` next to the fix.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+
+from repro.constraints.ast import PathConstraint
+from repro.paths import Path
+from repro.types.typesys import (
+    AtomicType,
+    ClassRef,
+    RecordType,
+    Schema,
+    SetType,
+)
+
+ShrinkPredicate = Callable[
+    [tuple[PathConstraint, ...], PathConstraint], bool
+]
+
+
+def _holds(
+    reproduces: ShrinkPredicate,
+    sigma: tuple[PathConstraint, ...],
+    phi: PathConstraint,
+) -> bool:
+    try:
+        return bool(reproduces(sigma, phi))
+    except Exception:  # noqa: BLE001 — a crashing candidate is a non-repro
+        return False
+
+
+def _shorter_paths(path: Path) -> Iterator[Path]:
+    """Candidate replacements for one path, in preference order."""
+    labels = path.labels
+    if not labels:
+        return
+    yield Path(labels[:-1])
+    if len(labels) > 1:
+        yield Path(labels[1:])
+
+
+def _constraint_variants(psi: PathConstraint) -> Iterator[PathConstraint]:
+    for shorter in _shorter_paths(psi.prefix):
+        yield PathConstraint(shorter, psi.lhs, psi.rhs, psi.direction)
+    for shorter in _shorter_paths(psi.lhs):
+        yield PathConstraint(psi.prefix, shorter, psi.rhs, psi.direction)
+    for shorter in _shorter_paths(psi.rhs):
+        yield PathConstraint(psi.prefix, psi.lhs, shorter, psi.direction)
+
+
+def shrink_instance(
+    sigma: Sequence[PathConstraint],
+    phi: PathConstraint,
+    reproduces: ShrinkPredicate,
+    max_rounds: int = 200,
+) -> tuple[tuple[PathConstraint, ...], PathConstraint]:
+    """Minimize ``(sigma, phi)`` while ``reproduces`` holds.
+
+    Returns the instance unchanged if the predicate does not even hold
+    on the input (nothing to shrink — the caller's reproducer is
+    already stale).
+    """
+    sigma = tuple(sigma)
+    if not _holds(reproduces, sigma, phi):
+        return sigma, phi
+
+    for _ in range(max_rounds):
+        # Pass 1: drop whole premises, largest index first so the
+        # tuple re-indexing never skips a candidate.
+        for i in reversed(range(len(sigma))):
+            candidate = sigma[:i] + sigma[i + 1:]
+            if _holds(reproduces, candidate, phi):
+                sigma = candidate
+                break
+        else:
+            # Pass 2: shorten one path of one premise.
+            for i, psi in enumerate(sigma):
+                found = False
+                for variant in _constraint_variants(psi):
+                    candidate = sigma[:i] + (variant,) + sigma[i + 1:]
+                    if _holds(reproduces, candidate, phi):
+                        sigma, found = candidate, True
+                        break
+                if found:
+                    break
+            else:
+                # Pass 3: shorten one path of the query.
+                for variant in _constraint_variants(phi):
+                    if _holds(reproduces, sigma, variant):
+                        phi = variant
+                        break
+                else:
+                    return sigma, phi  # fixpoint: 1-minimal
+    return sigma, phi
+
+
+# ---------------------------------------------------------------------------
+# Rendering regression tests.
+# ---------------------------------------------------------------------------
+
+
+def _render_type(tp) -> str:
+    if isinstance(tp, AtomicType):
+        return f"AtomicType({tp.name!r})"
+    if isinstance(tp, ClassRef):
+        return f"ClassRef({tp.name!r})"
+    if isinstance(tp, SetType):
+        return f"SetType({_render_type(tp.element)})"
+    if isinstance(tp, RecordType):
+        fields = ", ".join(
+            f"({name!r}, {_render_type(ft)})" for name, ft in tp.fields
+        )
+        return f"RecordType([{fields}])"
+    raise TypeError(f"cannot render schema type {tp!r}")
+
+
+def render_schema(schema: Schema) -> str:
+    """Executable source text reconstructing ``schema``."""
+    classes = ", ".join(
+        f"{name!r}: {_render_type(tp)}"
+        for name, tp in schema.classes.items()
+    )
+    return f"Schema({{{classes}}}, {_render_type(schema.db_type)})"
+
+
+def emit_regression_test(
+    sigma: Sequence[PathConstraint],
+    phi: PathConstraint,
+    engines: Sequence[str],
+    answers: Sequence[str],
+    schema: Schema | None = None,
+    kind: str = "definite-conflict",
+    seed_note: str = "",
+) -> str:
+    """A ready-to-paste pytest function pinning the disagreement.
+
+    The test asserts the two engines *agree* — i.e. it fails on the
+    current tree (documenting the bug) and passes once fixed.  For a
+    bad certificate it asserts ``certificate_ok is not False``.
+    """
+    safe = "_".join(e.replace("-", "_") for e in engines)
+    lines = []
+    lines.append(f"def test_diffcheck_regression_{safe}():")
+    header = f'    """Shrunk fuzz disagreement ({kind})'
+    if seed_note:
+        header += f"; {seed_note}"
+    lines.append(header + '."""')
+    lines.append(
+        "    from repro.constraints import parse_constraint, "
+        "parse_constraints"
+    )
+    lines.append("    from repro.diffcheck.oracles import run_named_engine")
+    sigma_text = "\n".join(f"        {psi}" for psi in sigma)
+    lines.append('    sigma = parse_constraints("""')
+    lines.append(sigma_text if sigma_text else "")
+    lines.append('    """)')
+    lines.append(f'    phi = parse_constraint("{phi}")')
+    if schema is not None:
+        lines.append(
+            "    from repro.types.typesys import ("
+            "AtomicType, ClassRef, RecordType, Schema, SetType)"
+        )
+        lines.append(f"    schema = {render_schema(schema)}")
+        schema_arg = ", schema=schema"
+    else:
+        schema_arg = ""
+    for engine in engines:
+        var = engine.replace("-", "_")
+        lines.append(
+            f'    {var} = run_named_engine("{engine}", sigma, phi'
+            f"{schema_arg})"
+        )
+    if kind == "bad-certificate":
+        var = engines[0].replace("-", "_")
+        lines.append(f"    assert {var}.certificate_ok is not False, (")
+        lines.append(f"        {var}.describe())")
+    else:
+        first = engines[0].replace("-", "_")
+        for engine, answer in zip(engines[1:], answers[1:]):
+            var = engine.replace("-", "_")
+            lines.append(
+                f"    assert not ({first}.answer.is_definite and "
+                f"{var}.answer.is_definite and"
+            )
+            lines.append(
+                f"                {first}.answer is not {var}.answer), ("
+            )
+            lines.append(
+                f'        f"{{{first}.describe()}} vs {{{var}.describe()}}")'
+            )
+    return "\n".join(lines) + "\n"

@@ -133,6 +133,38 @@ def classify(
     return ProblemClass.GENERAL
 
 
+def _reconcile_with_table1(
+    result: ImplicationResult,
+    problem_class: ProblemClass,
+    context: Context,
+) -> ImplicationResult:
+    """Normalize a procedure's result against the Table 1 verdict.
+
+    The result object of every route must agree with
+    :func:`table1_cell` on decidability and complexity — a decider
+    claiming a different complexity class than the paper's cell (or a
+    semi-decider claiming decidability) is a routing bug, not a
+    stylistic difference.  Conflicts raise; a missing complexity on a
+    decidable cell is filled in from the table.
+    """
+    decidable, complexity = table1_cell(problem_class, context)
+    if result.decidable != decidable:
+        raise AssertionError(
+            f"procedure returned decidable={result.decidable} for the "
+            f"({problem_class.value}, {context.value}) cell, but Table 1 "
+            f"says decidable={decidable}"
+        )
+    if decidable:
+        if result.complexity is not None and result.complexity != complexity:
+            raise AssertionError(
+                f"procedure claims complexity {result.complexity!r} for the "
+                f"({problem_class.value}, {context.value}) cell, but Table 1 "
+                f"says {complexity!r}"
+            )
+        result.complexity = complexity
+    return result
+
+
 def solve(
     problem: ImplicationProblem,
     allow_semidecision: bool = True,
@@ -159,21 +191,30 @@ def solve(
     raised.
     """
     problem_class = classify(problem.sigma, problem.phi)
-    decidable, complexity = table1_cell(problem_class, problem.context)
+    decidable, _complexity = table1_cell(problem_class, problem.context)
+    budget = Budget.from_seconds(deadline)
 
     if problem.context is Context.M:
         assert problem.schema is not None
         result = implies_typed_m(
             problem.schema, problem.sigma, problem.phi, with_proof=with_proof
         )
-        return result
+        return _reconcile_with_table1(result, problem_class, problem.context)
 
     if problem.context is Context.SEMISTRUCTURED and decidable:
         if problem_class is ProblemClass.WORD:
-            return implies_word(problem.sigma, problem.phi, with_proof=with_proof)
-        return implies_local_extent(
-            list(problem.sigma), problem.phi, with_proof=with_proof
-        )
+            result = implies_word(
+                problem.sigma,
+                problem.phi,
+                with_proof=with_proof,
+                chase_steps=chase_steps,
+                deadline=budget.deadline,
+            )
+        else:
+            result = implies_local_extent(
+                list(problem.sigma), problem.phi, with_proof=with_proof
+            )
+        return _reconcile_with_table1(result, problem_class, problem.context)
 
     # Undecidable cell: run the portfolio of semi-deciders.
     if not allow_semidecision:
@@ -184,11 +225,12 @@ def solve(
             "three-valued attempt"
         )
 
-    return run_portfolio(
+    result = run_portfolio(
         problem,
         jobs=jobs,
-        budget=Budget.from_seconds(deadline),
+        budget=budget,
         chase_steps=chase_steps,
         countermodel_nodes=countermodel_nodes,
         typed_search_limit=typed_search_limit,
     )
+    return _reconcile_with_table1(result, problem_class, problem.context)

@@ -45,6 +45,11 @@ from repro.reasoning.result import ImplicationResult
 from repro.rewriting.prefix import PrefixRewriteSystem, RewriteStep
 from repro.truth import Trilean
 
+#: Step budget for the equality-generating chase fallback when the
+#: caller does not supply one.  Callers with their own budget (the
+#: dispatcher, the fuzz harness) pass ``chase_steps`` explicitly.
+EGD_FALLBACK_CHASE_STEPS = 4_000
+
 
 def _require_word(phi: PathConstraint) -> PathConstraint:
     if not phi.is_word_constraint():
@@ -118,13 +123,20 @@ class WordImplicationDecider:
         self._closure_cache[alpha] = system
         return system
 
-    def implies(self, phi: PathConstraint) -> bool:
+    def implies(
+        self,
+        phi: PathConstraint,
+        chase_steps: int | None = None,
+        deadline: float | None = None,
+    ) -> bool:
         """The decision procedure.
 
         Polynomial-time and complete on the empty-conclusion-free
         fragment; see the module docstring for the layered strategy
         (and the :class:`~repro.errors.IncompleteFragmentError` escape
-        hatch) outside it.
+        hatch) outside it.  ``chase_steps`` and ``deadline`` (absolute
+        ``time.time()``) bound the equality-generating chase fallback
+        only — the rewriting core always runs to completion.
         """
         _require_word(phi)
         if not self._egd_lhs:
@@ -134,14 +146,19 @@ class WordImplicationDecider:
         from repro.errors import IncompleteFragmentError
         from repro.reasoning.chase import chase_implication
 
-        chased = chase_implication(list(self._sigma), phi, max_steps=4_000)
+        if chase_steps is None:
+            chase_steps = EGD_FALLBACK_CHASE_STEPS
+        chased = chase_implication(
+            list(self._sigma), phi, max_steps=chase_steps, deadline=deadline
+        )
         if chased.answer.is_definite:
             return chased.answer.to_bool()
         raise IncompleteFragmentError(
             "premises contain equality-generating word constraints "
             "(empty conclusion) and neither the sound closure nor the "
-            f"chase settled {phi}; this lies outside the decider's "
-            "guaranteed-complete fragment"
+            f"chase settled {phi} within the budget "
+            f"(chase_steps={chase_steps}); this lies outside the "
+            "decider's guaranteed-complete fragment"
         )
 
     def derivation(self, phi: PathConstraint) -> list[RewriteStep] | None:
@@ -212,10 +229,18 @@ def implies_word(
     sigma: Iterable[PathConstraint],
     phi: PathConstraint,
     with_proof: bool = False,
+    chase_steps: int | None = None,
+    deadline: float | None = None,
 ) -> ImplicationResult:
-    """One-shot convenience wrapper around the decider."""
+    """One-shot convenience wrapper around the decider.
+
+    ``chase_steps``/``deadline`` bound the equality-generating chase
+    fallback (see :meth:`WordImplicationDecider.implies`); they are
+    what :func:`repro.reasoning.dispatcher.solve` threads through from
+    its own budget parameters.
+    """
     decider = WordImplicationDecider(sigma)
-    answer = decider.implies(phi)
+    answer = decider.implies(phi, chase_steps=chase_steps, deadline=deadline)
     proof = decider.prove(phi) if (with_proof and answer) else None
     return ImplicationResult(
         answer=Trilean.of(answer),

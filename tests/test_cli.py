@@ -174,3 +174,112 @@ class TestErrorHandling:
         bad = tmp_path / "bad.txt"
         bad.write_text("this is not a constraint")
         assert main(["check", graph, str(bad)]) == 3
+
+
+class TestImplyExitCodesAndHints:
+    def test_definite_true_exits_zero(self, workspace, tmp_path):
+        words = tmp_path / "w.txt"
+        words.write_text("a => b\n")
+        assert main(["imply", str(words), "a.c => b.c"]) == 0
+
+    def test_unknown_exits_two(self, workspace, capsys):
+        _, _, sigma = workspace
+        rc = main(
+            ["imply", sigma, "person :: wrote ~> author", "--deadline", "0"]
+        )
+        assert rc == 2
+        assert "answer:     unknown" in capsys.readouterr().out
+
+    def test_parse_error_exits_three(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("this is not a constraint !!!\n")
+        assert main(["imply", str(bad), "a => b"]) == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_hint_shown_without_dump_flag(self, workspace, capsys):
+        _, _, sigma = workspace
+        rc = main(["imply", sigma, "person => book"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "use --dump-countermodel to save" in out
+
+    def test_hint_suppressed_when_dumping(self, workspace, capsys, tmp_path):
+        _, _, sigma = workspace
+        dump = tmp_path / "cm.json"
+        rc = main(
+            [
+                "imply", sigma, "person => book",
+                "--dump-countermodel", str(dump),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "use --dump-countermodel to save" not in out
+        assert f"written to {dump}" in out
+
+    def test_jobs_warning_on_decidable_cell(self, tmp_path, capsys):
+        words = tmp_path / "w.txt"
+        words.write_text("a => b\n")
+        rc = main(["imply", str(words), "a.c => b.c", "--jobs", "4"])
+        err = capsys.readouterr().err
+        assert rc == 0
+        assert "warning: --jobs ignored" in err
+
+    def test_no_jobs_warning_on_undecidable_cell(self, workspace, capsys):
+        _, _, sigma = workspace
+        rc = main(
+            [
+                "imply", sigma, "person :: wrote ~> author",
+                "--jobs", "2", "--deadline", "10",
+            ]
+        )
+        assert rc == 0
+        assert "warning:" not in capsys.readouterr().err
+
+    def test_deadline_honored_on_word_cell_no_warning(
+        self, tmp_path, capsys
+    ):
+        # --deadline reaches the P_w chase fallback now, so it must
+        # NOT warn on semistructured decidable cells.
+        words = tmp_path / "w.txt"
+        words.write_text("a => b\n")
+        rc = main(["imply", str(words), "a.c => b.c", "--deadline", "5"])
+        assert rc == 0
+        assert "warning:" not in capsys.readouterr().err
+
+
+class TestChaseExitCode:
+    def test_non_fixpoint_exits_one(self, workspace, capsys):
+        tmp, graph, _ = workspace
+        sigma = tmp / "diverge.txt"
+        # Forces unbounded node creation; one step cannot reach a
+        # fixpoint.
+        sigma.write_text("book => book.author\n")
+        rc = main(
+            ["chase", graph, str(sigma), "--max-steps", "1"]
+        )
+        assert rc == 1
+        assert "fixpoint=False" in capsys.readouterr().out
+
+
+class TestFuzzCommand:
+    def test_clean_sweep_exits_zero(self, tmp_path, capsys):
+        out_file = tmp_path / "report.json"
+        rc = main(
+            [
+                "fuzz", "--seed", "3", "--per-fragment", "2",
+                "--fragment", "P_w", "--portfolio-jobs", "1",
+                "--json-out", str(out_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 disagreement(s)" in out
+        report = json.loads(out_file.read_text())
+        assert report["ok"] is True
+        assert report["fragments"]["P_w"]["instances"] == 2
+
+    def test_unknown_fragment_exits_three(self, capsys):
+        rc = main(["fuzz", "--per-fragment", "1", "--fragment", "nope"])
+        assert rc == 3
+        assert "error:" in capsys.readouterr().err

@@ -216,3 +216,73 @@ class TestWithProofUniformity:
             parse_constraints("a => b"), parse_constraint("a.c => b.c")
         )
         assert solve(problem, with_proof=True).proof is not None
+
+
+class TestTable1Reconciliation:
+    """solve() must hand back results whose decidable/complexity agree
+    with table1_cell — each route is checked, and a lying procedure is
+    an AssertionError, not a silently wrong report."""
+
+    @pytest.mark.parametrize(
+        "context",
+        [Context.SEMISTRUCTURED, Context.M, Context.M_PLUS,
+         Context.M_PLUS_FINITE],
+    )
+    def test_result_matches_cell_in_every_context(self, context, fs_schema):
+        sigma = parse_constraints("sentence => sentence")
+        phi = parse_constraint("sentence => sentence")
+        schema = None if context is Context.SEMISTRUCTURED else fs_schema
+        problem = ImplicationProblem(sigma, phi, context, schema=schema)
+        result = solve(problem, deadline=10)
+        decidable, complexity = table1_cell(
+            classify(sigma, phi), context
+        )
+        assert result.decidable == decidable
+        if decidable:
+            assert result.complexity == complexity
+
+    def test_word_route_complexity_normalized(self):
+        problem = ImplicationProblem(
+            parse_constraints("a => b"), parse_constraint("a.c => b.c")
+        )
+        result = solve(problem)
+        assert result.decidable is True
+        assert result.complexity == "PTIME"
+
+    def test_m_route_reports_cubic(self, fs_schema):
+        problem = ImplicationProblem(
+            parse_constraints("sentence => sentence"),
+            parse_constraint("sentence => sentence"),
+            Context.M,
+            schema=fs_schema,
+        )
+        result = solve(problem)
+        assert result.decidable is True
+        assert result.complexity == "cubic"
+
+    def test_undecidable_route_reports_undecidable(self):
+        problem = ImplicationProblem(
+            parse_constraints("book :: author ~> wrote"),
+            parse_constraint("person :: wrote ~> author"),
+        )
+        result = solve(problem, deadline=10)
+        assert result.decidable is False
+        assert result.complexity is None
+
+    def test_lying_procedure_caught(self, monkeypatch):
+        from repro.reasoning import dispatcher as mod
+        from repro.reasoning.result import ImplicationResult
+
+        def lying_decider(sigma, phi, with_proof=False, **kwargs):
+            return ImplicationResult(
+                answer=Trilean.TRUE,
+                method="liar",
+                decidable=False,  # contradicts the (P_w, ss) cell
+            )
+
+        monkeypatch.setattr(mod, "implies_word", lying_decider)
+        problem = ImplicationProblem(
+            parse_constraints("a => b"), parse_constraint("a => b")
+        )
+        with pytest.raises(AssertionError, match="Table 1"):
+            mod.solve(problem)

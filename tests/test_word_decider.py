@@ -201,3 +201,62 @@ class TestPaperSection41Fragment:
         assert result.decidable
         assert result.complexity == "PTIME"
         assert any("finite implication" in n for n in result.notes)
+
+
+class TestChaseFallbackBudget:
+    """The EGD chase fallback must honor caller-supplied budgets — it
+    used to hardcode max_steps=4000 and ignore what the dispatcher
+    threaded through."""
+
+    #: closure cannot settle this (needs the chase), and the chase
+    #: refutes it in a couple of steps.
+    SIGMA = "a => ()\nb => a.b"
+    PHI = "b => a"
+
+    def test_default_budget_settles(self):
+        result = implies_word(
+            parse_constraints(self.SIGMA), parse_constraint(self.PHI)
+        )
+        assert result.answer is Trilean.FALSE
+
+    def test_tiny_budget_raises_instead_of_guessing(self):
+        from repro.errors import IncompleteFragmentError
+
+        with pytest.raises(IncompleteFragmentError) as err:
+            implies_word(
+                parse_constraints(self.SIGMA),
+                parse_constraint(self.PHI),
+                chase_steps=1,
+            )
+        assert "chase_steps=1" in str(err.value)
+
+    def test_decider_method_accepts_budget(self):
+        decider = WordImplicationDecider(parse_constraints(self.SIGMA))
+        assert decider.implies(parse_constraint(self.PHI)) is False
+        from repro.errors import IncompleteFragmentError
+
+        with pytest.raises(IncompleteFragmentError):
+            decider.implies(parse_constraint(self.PHI), chase_steps=1)
+
+    def test_dispatcher_threads_chase_steps(self):
+        from repro.errors import IncompleteFragmentError
+        from repro.reasoning import ImplicationProblem, solve
+
+        problem = ImplicationProblem(
+            parse_constraints(self.SIGMA), parse_constraint(self.PHI)
+        )
+        assert solve(problem).answer is Trilean.FALSE
+        with pytest.raises(IncompleteFragmentError):
+            solve(problem, chase_steps=1)
+
+    def test_expired_deadline_raises(self):
+        import time
+
+        from repro.errors import IncompleteFragmentError
+
+        with pytest.raises(IncompleteFragmentError):
+            implies_word(
+                parse_constraints(self.SIGMA),
+                parse_constraint(self.PHI),
+                deadline=time.time() - 1,
+            )
