@@ -15,4 +15,18 @@ for seed in 0 1 2; do
         --deadline 300 --json-out "FUZZ_seed$seed.json"
 done
 
+# High-rate fault-injection sweep: half of all portfolio tasks get a
+# fault (kill/raise/delay/corrupt).  Acceptance: zero TRUE<->FALSE
+# flips against the uninjected oracle; demotions are tallied in the
+# report.
+for seed in 0 1 2; do
+    python -m repro fuzz --seed "$seed" --per-fragment 50 \
+        --deadline 300 --inject-rate 0.5 --inject-seed "$seed" \
+        --json-out "FUZZ_inject_seed$seed.json"
+done
+
+# The full fault-tolerance stress set (tier-1 runs these too, but
+# without the marker filter they drown in the rest of the suite).
+python -m pytest tests -m stress -q
+
 exec python -m pytest benchmarks/ -m bench -s "$@"

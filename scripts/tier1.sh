@@ -13,4 +13,11 @@ export PYTHONPATH
 # longer multi-seed sweep.
 python -m repro fuzz --seed 7 --per-fragment 25
 
+# Fault-injection smoke: the same engines under a fixed-seed fault
+# plan.  Injected worker kills, delays, raises and pickle corruption
+# may demote answers to UNKNOWN but must never flip TRUE<->FALSE
+# (exit 1 if they do).  scripts/bench.sh runs the higher-rate sweep.
+python -m repro fuzz --seed 7 --per-fragment 5 \
+    --inject-rate 0.25 --inject-seed 7
+
 exec python -m pytest -x -q "$@"

@@ -6,13 +6,16 @@ Commands
     Validate a graph (JSON, the ``repro.graph.serialize`` dict format)
     against a constraint file (line syntax); exit 1 on violations.
 ``imply CONSTRAINTS QUERY [--context CTX] [--schema XMLDATA]
-[--jobs N] [--deadline S]``
+[--jobs N] [--deadline S] [--inject SPEC] [--max-respawns N]``
     Decide/semi-decide an implication question; prints the answer,
     method and Table 1 cell.  ``--schema`` takes an XML-Data file and
     is required for typed contexts.  On undecidable cells ``--jobs``
     races the chase against sharded counter-model search over a
-    process pool, and ``--deadline`` caps the whole portfolio in
-    wall-clock seconds.
+    supervised process pool, ``--deadline`` caps the whole portfolio
+    in wall-clock seconds, ``--max-respawns`` bounds pool respawns
+    after worker crashes, and ``--inject`` enables deterministic fault
+    injection (``kill:3``, ``delay:2:0.5``, ``corrupt:1``, ``raise:0``,
+    ``rate:0.3[:seed]``; comma-separated).
 ``classify CONSTRAINTS QUERY``
     Report the fragment (P_w / P_w(K) / local extent / P_c) and the
     decidability verdict in every context.
@@ -20,10 +23,17 @@ Commands
     Repair a graph to satisfy the constraints; writes the chased graph.
 ``dot GRAPH``
     Print a Graphviz rendering of a graph file.
-``fuzz [--seed N] [--per-fragment N] [--deadline S] [--json-out FILE]``
+``fuzz [--seed N] [--per-fragment N] [--deadline S] [--json-out FILE]
+[--inject-rate R] [--inject-seed N]``
     Differential cross-validation: random instances per fragment, every
     applicable engine, three-valued disagreement detection, and a
-    delta-debugging shrinker; exit 1 on any disagreement.
+    delta-debugging shrinker; exit 1 on any disagreement.  With
+    ``--inject-rate`` every portfolio run repeats under deterministic
+    fault injection and the injected verdict is cross-checked against
+    the clean one (definite answers may demote to UNKNOWN, never flip).
+    ``--json-out`` is written atomically (temp file + rename), and an
+    interrupted sweep still writes its partial report with
+    ``"aborted": true``.
 
 Constraint files use the line syntax (``#`` comments allowed)::
 
@@ -35,7 +45,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 from pathlib import Path as FilePath
 
 from repro.checking import check_all
@@ -65,6 +77,28 @@ def _load_schema(path: str):
     from repro.xml import schema_from_xml_data
 
     return schema_from_xml_data(FilePath(path).read_text())
+
+
+def _write_json_atomic(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    A reader (CI tailing the report, a dashboard) never observes a
+    truncated file: either the old content or the complete new one.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=".repro-report-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -97,11 +131,18 @@ def _cmd_imply(args: argparse.Namespace) -> int:
                 "always terminates)",
                 file=sys.stderr,
             )
+    inject = None
+    if args.inject:
+        from repro.reasoning.faultinject import FaultPlan
+
+        inject = FaultPlan.from_spec(args.inject)
     result = solve(
         problem,
         allow_semidecision=not args.strict,
         jobs=args.jobs,
         deadline=args.deadline,
+        max_respawns=args.max_respawns,
+        inject=inject,
     )
     print(f"answer:     {result.answer.value}")
     print(f"method:     {result.method}")
@@ -111,6 +152,8 @@ def _cmd_imply(args: argparse.Namespace) -> int:
     print(f"fragment:   {klass.value}  [{context.value}: {status}]")
     for engine in result.stats:
         print(f"engine:     {engine.describe()}")
+    if not result.faults.clean:
+        print(f"faults:     {result.faults.describe()}")
     for note in result.notes:
         print(f"note:       {note}")
     if result.proof is not None:
@@ -169,17 +212,33 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     jobs = tuple(
         sorted({int(j) for j in args.portfolio_jobs.split(",") if j.strip()})
     )
-    report = fuzz(
-        seed=args.seed,
-        per_fragment=args.per_fragment,
-        deadline=args.deadline,
-        fragments=args.fragment or None,
-        config=OracleConfig(portfolio_jobs=jobs),
-        shrink=not args.no_shrink,
-    )
+    sink: dict = {}
+    try:
+        report = fuzz(
+            seed=args.seed,
+            per_fragment=args.per_fragment,
+            deadline=args.deadline,
+            fragments=args.fragment or None,
+            config=OracleConfig(portfolio_jobs=jobs),
+            shrink=not args.no_shrink,
+            inject_rate=args.inject_rate,
+            inject_seed=args.inject_seed,
+            report_sink=sink,
+        )
+    except BaseException:
+        # fuzz() absorbs KeyboardInterrupt itself; anything landing
+        # here is a hard crash.  Salvage whatever the sweep learned.
+        partial = sink.get("report")
+        if partial is not None and args.json_out:
+            partial.aborted = True
+            _write_json_atomic(args.json_out, partial.to_json())
+            print(
+                f"partial report written to {args.json_out}",
+                file=sys.stderr,
+            )
+        raise
     if args.json_out:
-        with open(args.json_out, "w") as handle:
-            handle.write(report.to_json())
+        _write_json_atomic(args.json_out, report.to_json())
         print(f"report written to {args.json_out}", file=sys.stderr)
     print(report.summary())
     for record in report.disagreements:
@@ -199,6 +258,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print("  regression test:")
         for line in record.regression_test.splitlines():
             print(f"    {line}")
+    if report.aborted:
+        return 130
     return 0 if report.ok else 1
 
 
@@ -243,6 +304,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="wall-clock budget shared by all portfolio engines",
+    )
+    p.add_argument(
+        "--max-respawns",
+        type=int,
+        default=2,
+        metavar="N",
+        help="pool respawns after worker crashes before degrading "
+        "to in-process execution",
+    )
+    p.add_argument(
+        "--inject",
+        metavar="SPEC",
+        help="deterministic fault injection: kill:ORD, raise:ORD, "
+        "delay:ORD:SECONDS, corrupt:ORD, rate:R[:SEED] "
+        "(comma-separated; testing instrument)",
     )
     p.set_defaults(func=_cmd_imply)
 
@@ -301,7 +377,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json-out",
         metavar="FILE",
-        help="write the machine-readable report here",
+        help="write the machine-readable report here (atomically; a "
+        "partial report with aborted=true survives interruption)",
+    )
+    p.add_argument(
+        "--inject-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="re-run every portfolio engine under injected faults at "
+        "this rate and cross-check against the clean verdict",
+    )
+    p.add_argument(
+        "--inject-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the deterministic injection plans",
     )
     p.set_defaults(func=_cmd_fuzz)
 

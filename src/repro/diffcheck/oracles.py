@@ -89,7 +89,7 @@ class OracleConfig:
     typed_limit: int = 400
     typed_max_per_class: int = 2
     portfolio_jobs: tuple[int, ...] = (1, 4)
-    #: absolute ``time.time()`` deadline shared by the whole pass.
+    #: absolute ``time.monotonic()`` deadline shared by the whole pass.
     deadline: float | None = None
 
 

@@ -16,6 +16,9 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.constraints.ast import PathConstraint
+from repro.reasoning.dispatcher import Context, ImplicationProblem
+from repro.reasoning.faultinject import FaultPlan
+from repro.reasoning.portfolio import Budget, run_portfolio
 from repro.truth import Trilean
 
 from repro.diffcheck.generators import (
@@ -25,10 +28,12 @@ from repro.diffcheck.generators import (
 )
 from repro.diffcheck.oracles import (
     Disagreement,
+    EngineVerdict,
     OracleConfig,
     find_disagreements,
     run_engines,
     run_named_engine,
+    verify_countermodel,
     with_deadline,
 )
 from repro.diffcheck.shrink import emit_regression_test, shrink_instance
@@ -82,6 +87,8 @@ class FragmentStats:
     definite_false: int = 0
     unknown: int = 0
     disagreements: int = 0
+    injected_runs: int = 0
+    injected_demotions: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -91,6 +98,8 @@ class FragmentStats:
             "definite_false": self.definite_false,
             "unknown": self.unknown,
             "disagreements": self.disagreements,
+            "injected_runs": self.injected_runs,
+            "injected_demotions": self.injected_demotions,
         }
 
 
@@ -104,6 +113,14 @@ class FuzzReport:
     disagreements: list[DisagreementRecord] = field(default_factory=list)
     elapsed: float = 0.0
     deadline_hit: bool = False
+    #: fault-injection sweep settings and tallies (rate 0 = disabled).
+    inject_rate: float = 0.0
+    inject_seed: int = 0
+    injected_runs: int = 0
+    injected_demotions: int = 0
+    #: True when the sweep was cut short (KeyboardInterrupt or crash);
+    #: all tallies up to the cut are valid.
+    aborted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -117,6 +134,11 @@ class FuzzReport:
             "ok": self.ok,
             "elapsed": round(self.elapsed, 3),
             "deadline_hit": self.deadline_hit,
+            "inject_rate": self.inject_rate,
+            "inject_seed": self.inject_seed,
+            "injected_runs": self.injected_runs,
+            "injected_demotions": self.injected_demotions,
+            "aborted": self.aborted,
             "fragments": {
                 name: stats.to_dict()
                 for name, stats in self.fragments.items()
@@ -136,7 +158,15 @@ class FuzzReport:
             f"{len(self.disagreements)} disagreement(s) "
             f"in {self.elapsed:.1f}s"
             + (" [deadline hit]" if self.deadline_hit else "")
+            + (" [ABORTED]" if self.aborted else "")
         ]
+        if self.inject_rate > 0.0:
+            lines.append(
+                f"  fault injection: rate={self.inject_rate} "
+                f"seed={self.inject_seed} runs={self.injected_runs} "
+                f"demotions={self.injected_demotions} "
+                f"(definite verdicts must survive or demote, never flip)"
+            )
         for name, stats in self.fragments.items():
             lines.append(
                 f"  {name:<12} n={stats.instances:<4} "
@@ -195,17 +225,34 @@ def fuzz(
     config: OracleConfig | None = None,
     shrink: bool = True,
     extra=None,
+    inject_rate: float = 0.0,
+    inject_seed: int = 0,
+    report_sink: dict | None = None,
 ) -> FuzzReport:
     """Run one differential sweep.
 
     ``deadline`` is a *relative* budget in seconds for the whole sweep
-    (converted to an absolute one internally and threaded into every
-    engine); instances past it are skipped and the report says so.
-    ``fragments`` restricts the sweep to named generators; ``extra``
-    injects additional engines (the tests use this to plant a
-    deliberately broken decider and watch the pipeline catch it).
+    (converted to an absolute ``time.monotonic()`` value internally and
+    threaded into every engine); instances past it are skipped and the
+    report says so.  ``fragments`` restricts the sweep to named
+    generators; ``extra`` injects additional engines (the tests use
+    this to plant a deliberately broken decider and watch the pipeline
+    catch it).
+
+    With ``inject_rate > 0`` every semistructured instance additionally
+    re-runs each portfolio engine under a deterministic fault plan
+    (seeded from ``inject_seed``, the sweep seed, the instance index
+    and the job count) and cross-checks the injected verdict against
+    the clean one: a definite verdict may survive or demote to UNKNOWN,
+    but a TRUE<->FALSE flip is recorded as a disagreement — the
+    soundness contract of the fault-tolerant runtime.
+
+    A ``KeyboardInterrupt`` mid-sweep does not lose the report: the
+    partial report is returned with ``aborted=True`` (and is reachable
+    even on a hard crash via ``report_sink``, a dict the in-progress
+    report is published into under the ``"report"`` key).
     """
-    began = time.time()
+    began = time.monotonic()
     absolute = None if deadline is None else began + deadline
     config = with_deadline(config or OracleConfig(), absolute)
     names = list(fragments) if fragments is not None else list(
@@ -217,42 +264,203 @@ def fuzz(
             f"unknown fragment(s) {unknown}; "
             f"have {sorted(FRAGMENT_GENERATORS)}"
         )
+    if not 0.0 <= inject_rate <= 1.0:
+        raise ValueError(f"inject rate {inject_rate} outside [0, 1]")
 
-    report = FuzzReport(seed=seed, per_fragment=per_fragment)
-    for name in names:
-        stats = report.fragments.setdefault(name, FragmentStats())
-        for index in range(per_fragment):
-            if absolute is not None and time.time() > absolute:
-                report.deadline_hit = True
-                break
-            instance = generate_instance(name, seed, index)
-            verdicts = run_engines(instance, config, extra=extra)
-            stats.instances += 1
-            stats.engine_runs += len(verdicts)
-            for v in verdicts:
-                if v.answer is Trilean.TRUE:
-                    stats.definite_true += 1
-                elif v.answer is Trilean.FALSE:
-                    stats.definite_false += 1
-                else:
-                    stats.unknown += 1
-            for disagreement in find_disagreements(verdicts):
-                stats.disagreements += 1
-                report.disagreements.append(
-                    _record(
+    report = FuzzReport(
+        seed=seed,
+        per_fragment=per_fragment,
+        inject_rate=inject_rate,
+        inject_seed=inject_seed,
+    )
+    if report_sink is not None:
+        report_sink["report"] = report
+    try:
+        for name in names:
+            stats = report.fragments.setdefault(name, FragmentStats())
+            for index in range(per_fragment):
+                if absolute is not None and time.monotonic() > absolute:
+                    report.deadline_hit = True
+                    break
+                instance = generate_instance(name, seed, index)
+                verdicts = run_engines(instance, config, extra=extra)
+                stats.instances += 1
+                stats.engine_runs += len(verdicts)
+                for v in verdicts:
+                    if v.answer is Trilean.TRUE:
+                        stats.definite_true += 1
+                    elif v.answer is Trilean.FALSE:
+                        stats.definite_false += 1
+                    else:
+                        stats.unknown += 1
+                for disagreement in find_disagreements(verdicts):
+                    stats.disagreements += 1
+                    report.disagreements.append(
+                        _record(
+                            instance,
+                            disagreement,
+                            seed,
+                            index,
+                            config,
+                            shrink,
+                            extra,
+                        )
+                    )
+                if inject_rate > 0.0:
+                    _injected_pass(
+                        report,
+                        stats,
                         instance,
-                        disagreement,
+                        verdicts,
+                        config,
                         seed,
                         index,
-                        config,
-                        shrink,
-                        extra,
+                        inject_rate,
+                        inject_seed,
+                    )
+            if report.deadline_hit:
+                break
+    except KeyboardInterrupt:
+        report.aborted = True
+    report.elapsed = time.monotonic() - began
+    return report
+
+
+def _injected_pass(
+    report: FuzzReport,
+    stats: FragmentStats,
+    instance: FragmentInstance,
+    verdicts: Sequence[EngineVerdict],
+    config: OracleConfig,
+    seed: int,
+    index: int,
+    rate: float,
+    inject_seed: int,
+) -> None:
+    """Re-run the portfolio engines under injected faults and compare.
+
+    The clean matrix already agreed with itself (any conflict was
+    recorded above), so the clean portfolio verdict stands in for the
+    oracle.  Acceptance: injected faults never flip a definite answer
+    — they may only demote it to UNKNOWN, and every demotion must be
+    accounted for by a recorded fault (or the sweep deadline).
+    """
+    if instance.context is not Context.SEMISTRUCTURED:
+        return  # injection targets the supervised portfolio runtime
+    baselines = {
+        v.engine: v for v in verdicts if v.engine.startswith("portfolio-j")
+    }
+    problem = ImplicationProblem(
+        instance.sigma, instance.phi, instance.context, schema=instance.schema
+    )
+    for jobs in config.portfolio_jobs:
+        clean = baselines.get(f"portfolio-j{jobs}")
+        if clean is None:
+            continue
+        plan_seed = (
+            inject_seed * 1_000_003 + seed * 10_007 + index * 101 + jobs
+        )
+        plan = FaultPlan.at_rate(rate, plan_seed)
+        result = run_portfolio(
+            problem,
+            jobs=jobs,
+            budget=Budget(deadline=config.deadline),
+            chase_steps=config.chase_steps,
+            countermodel_nodes=config.countermodel_nodes,
+            fault_plan=plan,
+        )
+        report.injected_runs += 1
+        stats.injected_runs += 1
+        engines = (f"portfolio-j{jobs}", f"portfolio-j{jobs}+inject")
+        answers = (clean.answer.value, result.answer.value)
+        detail = (
+            f"plan={plan.describe()}; faults[{result.faults.describe()}]"
+        )
+        if (
+            clean.answer.is_definite
+            and result.answer.is_definite
+            and result.answer is not clean.answer
+        ):
+            stats.disagreements += 1
+            report.disagreements.append(
+                _injected_record(
+                    instance, "injected-flip", engines, answers, detail,
+                    seed, index,
+                )
+            )
+            continue
+        if (
+            result.answer is Trilean.FALSE
+            and result.countermodel is not None
+            and not verify_countermodel(
+                result.countermodel, instance.sigma, instance.phi
+            )
+        ):
+            stats.disagreements += 1
+            report.disagreements.append(
+                _injected_record(
+                    instance,
+                    "injected-bad-certificate",
+                    engines,
+                    answers,
+                    detail,
+                    seed,
+                    index,
+                )
+            )
+            continue
+        if clean.answer.is_definite and result.answer is Trilean.UNKNOWN:
+            report.injected_demotions += 1
+            stats.injected_demotions += 1
+            if result.faults.clean and config.deadline is None:
+                # A demotion with neither a recorded fault nor a
+                # deadline means the fault accounting lost an event.
+                stats.disagreements += 1
+                report.disagreements.append(
+                    _injected_record(
+                        instance,
+                        "unrecorded-fault",
+                        engines,
+                        answers,
+                        detail,
+                        seed,
+                        index,
                     )
                 )
-        if report.deadline_hit:
-            break
-    report.elapsed = time.time() - began
-    return report
+
+
+def _injected_record(
+    instance: FragmentInstance,
+    kind: str,
+    engines: tuple[str, ...],
+    answers: tuple[str, ...],
+    detail: str,
+    seed: int,
+    index: int,
+) -> DisagreementRecord:
+    """A disagreement record for an injection finding (never shrunk —
+    reproduction needs the exact fault plan, which ``detail`` names)."""
+    sigma = _strs(instance.sigma)
+    test = (
+        f"# {kind}: reproduce with REPRO_INJECT='{detail.split(';')[0][5:]}'\n"
+        f"# fragment={instance.fragment} seed={seed} index={index}\n"
+        f"# sigma={list(sigma)!r}\n"
+        f"# phi={str(instance.phi)!r}\n"
+    )
+    return DisagreementRecord(
+        fragment=instance.fragment,
+        seed=seed,
+        index=index,
+        kind=kind,
+        engines=engines,
+        answers=answers,
+        detail=detail,
+        original_sigma=sigma,
+        original_phi=str(instance.phi),
+        shrunk_sigma=sigma,
+        shrunk_phi=str(instance.phi),
+        regression_test=test,
+    )
 
 
 def _record(

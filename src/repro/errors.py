@@ -64,6 +64,49 @@ class ChaseBudgetExceeded(ReproError):
     """The chase hit its step budget before reaching a fixpoint."""
 
 
+class RuntimeFaultError(ReproError):
+    """Base class for faults of the supervised execution runtime.
+
+    These never signal anything about the implication instance itself
+    — only about the machinery (worker processes, pickling, pools)
+    that was computing it.  The supervisor converts them into honest
+    UNKNOWN contributions wherever soundness allows; they surface as
+    exceptions only when no sound degraded answer exists.
+    """
+
+
+class WorkerCrashError(RuntimeFaultError):
+    """A worker process died abruptly (segfault, OOM-kill, os._exit).
+
+    Wraps the executor's ``BrokenProcessPool``: the pool is unusable
+    and every in-flight task of that pool generation is lost.
+    """
+
+
+class PoolDegradedError(RuntimeFaultError):
+    """The process pool was abandoned after exhausting its respawns.
+
+    Remaining tasks run in-process under the surviving budget; this
+    error is raised only when even that degraded mode cannot complete.
+    """
+
+
+class RetryExhausted(RuntimeFaultError):
+    """A task failed on every pool attempt and the in-process retry.
+
+    Carries the final underlying exception as ``__cause__``.
+    """
+
+
+class InjectedFault(RuntimeFaultError):
+    """A deliberate fault raised by the fault-injection layer.
+
+    Only ever raised when injection is explicitly enabled
+    (``repro imply --inject``, ``repro fuzz --inject-rate``, or a
+    :class:`repro.reasoning.faultinject.FaultPlan` passed in code).
+    """
+
+
 class IncompleteFragmentError(ReproError):
     """The instance falls outside a decider's guaranteed-complete
     fragment and every sound fallback was indefinite.

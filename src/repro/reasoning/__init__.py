@@ -41,12 +41,18 @@ from repro.reasoning.portfolio import (
     parallel_find_countermodel,
     run_portfolio,
 )
-from repro.reasoning.result import EngineStats
+from repro.reasoning.faultinject import FaultPlan
+from repro.reasoning.runtime import WorkerSupervisor
+from repro.reasoning.result import EngineStats, FaultEvent, FaultReport
 
 __all__ = [
     "Budget",
     "EngineStats",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultReport",
     "ImplicationResult",
+    "WorkerSupervisor",
     "parallel_find_countermodel",
     "run_portfolio",
     "WordImplicationDecider",

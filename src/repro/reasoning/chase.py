@@ -61,7 +61,7 @@ def chase(
 
     Returns the chased graph; ``fixpoint`` is True when no constraint
     has a remaining violation (so the result models Sigma).
-    ``deadline`` is an absolute ``time.time()`` value (the portfolio's
+    ``deadline`` is an absolute ``time.monotonic()`` value (the portfolio's
     shared budget); expiry behaves like step-budget exhaustion — the
     chase stops early and the fixpoint recheck runs for real.
     """
@@ -77,7 +77,7 @@ def chase(
     def out_of_budget() -> bool:
         if steps >= max_steps:
             return True
-        return deadline is not None and time.time() > deadline
+        return deadline is not None and time.monotonic() > deadline
 
     progress = True
     clean_pass = False

@@ -27,6 +27,7 @@ from repro.constraints.classes import (
 from repro.errors import UndecidableProblemError
 from repro.reasoning.chase import DEFAULT_CHASE_STEPS
 from repro.reasoning.local_extent import implies_local_extent
+from repro.reasoning.faultinject import FaultPlan
 from repro.reasoning.portfolio import Budget, run_portfolio
 from repro.reasoning.result import ImplicationResult
 from repro.reasoning.typed_m import implies_typed_m
@@ -174,6 +175,8 @@ def solve(
     with_proof: bool = False,
     jobs: int = 1,
     deadline: float | None = None,
+    max_respawns: int = 2,
+    inject: "FaultPlan | None" = None,
 ) -> ImplicationResult:
     """Decide or semi-decide an implication problem.
 
@@ -186,9 +189,13 @@ def solve(
     ``jobs <= 1`` the engines run sequentially in-process; with
     ``jobs > 1`` they race across a process pool with first-winner
     cancellation (see :mod:`repro.reasoning.portfolio`).  ``deadline``
-    is a wall-clock budget in seconds shared by every engine.  Without
-    ``allow_semidecision`` an :class:`UndecidableProblemError` is
-    raised.
+    is a wall-clock budget in seconds shared by every engine.  Pool
+    execution is supervised: worker crashes respawn the pool at most
+    ``max_respawns`` times before degrading to in-process runs, and
+    ``inject`` (default: the ``$REPRO_INJECT`` spec, usually empty)
+    enables deterministic fault injection; every result carries a
+    ``faults`` record.  Without ``allow_semidecision`` an
+    :class:`UndecidableProblemError` is raised.
     """
     problem_class = classify(problem.sigma, problem.phi)
     decidable, _complexity = table1_cell(problem_class, problem.context)
@@ -232,5 +239,7 @@ def solve(
         chase_steps=chase_steps,
         countermodel_nodes=countermodel_nodes,
         typed_search_limit=typed_search_limit,
+        max_respawns=max_respawns,
+        fault_plan=inject,
     )
     return _reconcile_with_table1(result, problem_class, problem.context)

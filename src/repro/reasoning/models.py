@@ -428,7 +428,7 @@ def scan_codes(
     Non-canonical codes are skipped before decoding; with
     ``require_reachable`` (the level-search default) codes with
     root-unreachable nodes are skipped after decoding.  ``deadline``
-    is an absolute ``time.time()`` value checked every ``check_every``
+    is an absolute ``time.monotonic()`` value checked every ``check_every``
     codes; an expired deadline stops the scan with
     ``exhausted=False``.  Deterministic: the hit is the smallest
     counter-model code in range, independent of sharding.
@@ -443,7 +443,7 @@ def scan_codes(
     canonical = 0
     for code in range(start, stop):
         if deadline is not None and examined % check_every == 0:
-            if time.time() > deadline:
+            if time.monotonic() > deadline:
                 return ShardReport(
                     node_count=space.node_count,
                     start=start,
@@ -611,7 +611,7 @@ def scan_typed_instances(
     ):
         if index % shard_count != shard_index:
             continue
-        if deadline is not None and time.time() > deadline:
+        if deadline is not None and time.monotonic() > deadline:
             return TypedShardReport(
                 shard_index=shard_index,
                 shard_count=shard_count,

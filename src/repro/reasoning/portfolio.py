@@ -4,7 +4,7 @@ The undecidable cells of Table 1 are served by semi-decision — the
 chase (sound for TRUE, and for FALSE when it reaches a fixpoint) races
 bounded counter-model search (sound for FALSE).  The seed ran the two
 engines sequentially; this module runs them as a *portfolio* across a
-``ProcessPoolExecutor``:
+process pool:
 
 * the chase runs as one pool task;
 * counter-model search is sharded by bit-prefix over the canonical
@@ -17,34 +17,42 @@ engines sequentially; this module runs them as a *portfolio* across a
   elapsed time, outcome) are surfaced on the returned
   :class:`ImplicationResult`.
 
+Every pool interaction goes through a
+:class:`~repro.reasoning.runtime.WorkerSupervisor`: a worker crash
+(segfault, OOM-kill, ``os._exit``), a payload that cannot pickle, or
+a task that raises mid-engine never surfaces as a bare
+``BrokenProcessPool``.  The supervisor respawns the pool with capped
+backoff, resubmits lost shards from their ``(start, stop)`` ranges,
+degrades to in-process execution when respawns are exhausted, and
+records every event in the result's ``faults`` field.  Soundness is
+structural: TRUE/FALSE always rides on an independently verifiable
+certificate, so infrastructure failure can only ever demote an answer
+to UNKNOWN, never flip it.
+
 Determinism: the counter-model engine's answer is a function of the
 instance alone, not of scheduling.  Shards report the smallest hit in
 their range; the combiner takes the hit of the lowest range whose
 predecessors exhausted hitless, which is exactly the sequential scan
 order.  So ``--jobs 1`` and ``--jobs 4`` return the same counter-model
-(deadline expiry aside — a budget stop is reported as UNKNOWN either
-way, but *which* candidates were reached may differ).
+(deadline expiry and worker faults aside — a budget stop or a
+degraded-and-still-failing shard is reported as UNKNOWN either way,
+but *which* candidates were reached may differ).
 
-Budgets: a :class:`Budget` carries one absolute wall-clock deadline
-shared by every engine and shard; expiry turns whichever scans are
-still running into honest UNKNOWN contributions.
+Budgets: a :class:`Budget` carries one absolute ``time.monotonic()``
+deadline shared by every engine and shard; expiry turns whichever
+scans are still running into honest UNKNOWN contributions.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Sequence
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    Future,
-    ProcessPoolExecutor,
-    wait,
-)
 from dataclasses import dataclass
 
 from repro.constraints.ast import PathConstraint
 from repro.graph.structure import Graph
 from repro.reasoning.chase import DEFAULT_CHASE_STEPS, chase_implication
+from repro.reasoning.faultinject import FaultPlan, plan_from_env
 from repro.reasoning.models import (
     CodeSpace,
     ShardReport,
@@ -54,8 +62,17 @@ from repro.reasoning.models import (
     scan_typed_instances,
 )
 from repro.reasoning.result import EngineStats, ImplicationResult
+from repro.reasoning.runtime import Budget, SupervisedTask, WorkerSupervisor
 from repro.truth import Trilean
 from repro.types.typesys import Schema
+
+__all__ = [
+    "Budget",
+    "CountermodelOutcome",
+    "parallel_countermodel_search",
+    "parallel_find_countermodel",
+    "run_portfolio",
+]
 
 #: Shards per enumeration level, as a multiple of the worker count —
 #: finer than the pool so a winner can cancel still-pending ranges.
@@ -64,35 +81,6 @@ SHARD_FACTOR = 4
 #: A level this small is scanned as a single shard (pool overhead
 #: would dominate).
 MIN_SHARDED_SPACE = 4096
-
-
-@dataclass(frozen=True)
-class Budget:
-    """A wall-clock budget shared by every engine of a portfolio run.
-
-    ``deadline`` is absolute (``time.time()``); ``None`` means
-    unlimited.  The object is immutable and picklable, so one budget
-    threads through the dispatcher, the chase, and every search shard
-    in every worker process.
-    """
-
-    deadline: float | None = None
-
-    @classmethod
-    def from_seconds(cls, seconds: float | None) -> "Budget":
-        """A budget expiring ``seconds`` from now (``None`` = none)."""
-        if seconds is None:
-            return cls(deadline=None)
-        return cls(deadline=time.time() + seconds)
-
-    @property
-    def expired(self) -> bool:
-        return self.deadline is not None and time.time() > self.deadline
-
-    def remaining(self) -> float | None:
-        if self.deadline is None:
-            return None
-        return max(0.0, self.deadline - time.time())
 
 
 @dataclass
@@ -106,11 +94,17 @@ class CountermodelOutcome:
     exhausted: bool = True
     elapsed: float = 0.0
     levels: tuple[int, ...] = ()
+    #: True when the scan was truncated by an unrecoverable worker
+    #: fault rather than by the budget — same UNKNOWN semantics, but
+    #: callers report it differently.
+    fault_stop: bool = False
 
     @property
     def outcome_label(self) -> str:
         if self.graph is not None:
             return "hit"
+        if self.fault_stop:
+            return "faulted"
         return "exhausted" if self.exhausted else "budget"
 
 
@@ -193,6 +187,7 @@ class _ChaseState:
 
     result: ImplicationResult | None = None
     stats: EngineStats | None = None
+    failed: bool = False
 
     def absorb(self, payload: tuple[ImplicationResult, float]) -> None:
         result, elapsed = payload
@@ -205,6 +200,22 @@ class _ChaseState:
             elapsed=elapsed,
         )
 
+    def fail(self, error: BaseException | None) -> None:
+        """The chase task failed every attempt; it contributes nothing."""
+        self.failed = True
+        self.stats = EngineStats(
+            engine="chase",
+            outcome="failed",
+            detail=type(error).__name__ if error is not None else "",
+        )
+
+    def settle_task(self, task: SupervisedTask) -> None:
+        """Absorb a settled supervised chase task, success or failure."""
+        if task.failed:
+            self.fail(task.error)
+        else:
+            self.absorb(task.result())
+
     @property
     def definite(self) -> bool:
         return self.result is not None and self.result.answer.is_definite
@@ -216,7 +227,8 @@ class _ChaseState:
 
 
 def _sequential_countermodel(
-    sigma: Sequence[PathConstraint],
+    supervisor: WorkerSupervisor,
+    sigma: tuple[PathConstraint, ...],
     phi: PathConstraint,
     labels: tuple[str, ...],
     max_nodes: int,
@@ -226,9 +238,22 @@ def _sequential_countermodel(
     out = CountermodelOutcome(levels=tuple(range(1, max_nodes + 1)))
     for node_count in range(1, max_nodes + 1):
         space = CodeSpace(node_count, labels)
-        report = scan_codes(
-            space, sigma, phi, deadline=budget.deadline
+        task = supervisor.submit(
+            _shard_task,
+            node_count,
+            labels,
+            sigma,
+            phi,
+            0,
+            space.total,
+            budget.deadline,
+            engine=f"countermodel[n={node_count}]",
         )
+        if task.failed:
+            out.exhausted = False
+            out.fault_stop = True
+            break
+        report = task.result()
         out.examined += report.examined
         out.canonical += report.canonical
         if report.hit is not None:
@@ -246,30 +271,29 @@ class _RaceInterrupted(Exception):
 
 
 def _drain_levels(
-    pool: ProcessPoolExecutor,
+    supervisor: WorkerSupervisor,
     sigma: tuple[PathConstraint, ...],
     phi: PathConstraint,
     labels: tuple[str, ...],
     max_nodes: int,
     jobs: int,
     budget: Budget,
-    chase_future: Future | None,
+    chase_task: SupervisedTask | None,
     chase_state: _ChaseState,
 ) -> CountermodelOutcome:
-    """Run the sharded level-by-level scan, racing ``chase_future``.
+    """Run the sharded level-by-level scan, racing ``chase_task``.
 
     Raises :class:`_RaceInterrupted` as soon as the chase returns a
     definite answer (after cancelling pending shards) — the caller
-    already holds the chase result in ``chase_state``.
+    already holds the chase result in ``chase_state``.  All waiting
+    goes through the supervisor, so worker crashes, respawns and
+    degraded re-runs are invisible here: a task is either settled
+    with a report, settled failed (a typed error), or cancelled.
     """
     began = time.perf_counter()
     out = CountermodelOutcome(levels=tuple(range(1, max_nodes + 1)))
 
-    def cancel_all(futures: list[Future]) -> None:
-        for future in futures:
-            future.cancel()
-
-    watching_chase = chase_future is not None
+    watching_chase = chase_task is not None
     for node_count in range(1, max_nodes + 1):
         space = CodeSpace(node_count, labels)
         shard_count = (
@@ -278,8 +302,8 @@ def _drain_levels(
             else jobs * SHARD_FACTOR
         )
         ranges = _plan_shards(space.total, shard_count)
-        futures = [
-            pool.submit(
+        tasks = [
+            supervisor.submit(
                 _shard_task,
                 node_count,
                 labels,
@@ -288,52 +312,61 @@ def _drain_levels(
                 start,
                 stop,
                 budget.deadline,
+                engine=f"countermodel[n={node_count} {start}:{stop}]",
             )
             for start, stop in ranges
         ]
-        reports: dict[Future, ShardReport] = {}
         # Resolve shards in range order: the winner is the hit of the
         # lowest range whose predecessors exhausted hitless — the
         # sequential scan order, whatever the completion order.
         resolved = 0
-        while resolved < len(futures):
-            pending = {f for f in futures if f not in reports}
-            if watching_chase:
-                pending.add(chase_future)
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            if watching_chase and chase_future in done:
-                chase_state.absorb(chase_future.result())
+        while resolved < len(tasks):
+            if watching_chase and chase_task.settled:
                 watching_chase = False
+                chase_state.settle_task(chase_task)
                 if chase_state.definite:
-                    cancel_all(futures)
+                    for task in tasks[resolved:]:
+                        supervisor.cancel(task)
                     out.exhausted = False
                     out.elapsed = time.perf_counter() - began
                     raise _RaceInterrupted
-            for future in done:
-                if future is chase_future:
-                    continue
-                reports[future] = future.result()
-            # Walk ranges in order as far as completed reports go.
-            while resolved < len(futures):
-                future = futures[resolved]
-                if future not in reports:
-                    break
-                report = reports[future]
+            task = tasks[resolved]
+            if task.settled:
+                if task.failed:
+                    # The range is unexplored and unexplorable: same
+                    # honest-UNKNOWN semantics as budget expiry, with
+                    # the fault recorded by the supervisor.
+                    for later in tasks[resolved + 1 :]:
+                        supervisor.cancel(later)
+                    out.exhausted = False
+                    out.fault_stop = True
+                    out.elapsed = time.perf_counter() - began
+                    return out
+                report = task.result()
                 out.examined += report.examined
                 out.canonical += report.canonical
                 if report.hit is not None:
-                    cancel_all(futures[resolved + 1 :])
+                    for later in tasks[resolved + 1 :]:
+                        supervisor.cancel(later)
                     out.graph = space.to_graph(report.hit)
                     out.elapsed = time.perf_counter() - began
                     return out
                 if not report.exhausted:
                     # Budget expired inside this range: everything
                     # beyond it is unexplored.
-                    cancel_all(futures[resolved + 1 :])
+                    for later in tasks[resolved + 1 :]:
+                        supervisor.cancel(later)
                     out.exhausted = False
                     out.elapsed = time.perf_counter() - began
                     return out
                 resolved += 1
+                continue
+            watch: set[SupervisedTask] = {
+                t for t in tasks[resolved:] if not t.settled
+            }
+            if watching_chase and not chase_task.settled:
+                watch.add(chase_task)
+            supervisor.wait_any(watch)
     out.elapsed = time.perf_counter() - began
     return out
 
@@ -350,30 +383,40 @@ def parallel_countermodel_search(
     max_nodes: int = 3,
     jobs: int = 1,
     budget: Budget | None = None,
+    fault_plan: FaultPlan | None = None,
+    max_respawns: int = 2,
 ) -> CountermodelOutcome:
     """Canonical counter-model search, sharded across ``jobs`` workers.
 
     Deterministic: returns the same counter-model as the sequential
-    canonical scan for any ``jobs`` (budget expiry aside).  With
-    ``jobs <= 1`` no pool is created at all.
+    canonical scan for any ``jobs`` (budget expiry and unrecoverable
+    worker faults aside).  With ``jobs <= 1`` no pool is created at
+    all.
     """
     sigma = tuple(sigma)
     budget = budget or Budget()
     if labels is None:
         labels = infer_alphabet(sigma, phi)
     labels = tuple(labels)
-    if jobs <= 1:
-        return _sequential_countermodel(sigma, phi, labels, max_nodes, budget)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with WorkerSupervisor(
+        jobs=jobs,
+        budget=budget,
+        plan=fault_plan,
+        max_respawns=max_respawns,
+    ) as supervisor:
+        if supervisor.inline:
+            return _sequential_countermodel(
+                supervisor, sigma, phi, labels, max_nodes, budget
+            )
         return _drain_levels(
-            pool,
+            supervisor,
             sigma,
             phi,
             labels,
             max_nodes,
             jobs,
             budget,
-            chase_future=None,
+            chase_task=None,
             chase_state=_ChaseState(),
         )
 
@@ -394,7 +437,7 @@ def parallel_find_countermodel(
 
 
 def _typed_parallel(
-    pool: ProcessPoolExecutor,
+    supervisor: WorkerSupervisor,
     schema: Schema,
     sigma: tuple[PathConstraint, ...],
     phi: PathConstraint,
@@ -403,18 +446,20 @@ def _typed_parallel(
     limit: int,
     max_oids: int,
     max_set_size: int,
-    chase_future: Future | None,
+    chase_task: SupervisedTask | None,
     chase_state: _ChaseState,
 ) -> CountermodelOutcome:
     """Stride-sharded ``U_f(Delta)`` scan racing the chase.
 
     Strides interleave, so every shard must finish before the minimal
-    hit index is known; shards early-exit at their own first hit.
+    hit index is known; shards early-exit at their own first hit.  A
+    shard that fails every attempt forfeits only exhaustion — a hit
+    found by a surviving shard is still a sound FALSE certificate.
     """
     began = time.perf_counter()
     out = CountermodelOutcome()
-    futures = [
-        pool.submit(
+    tasks = [
+        supervisor.submit(
             _typed_shard_task,
             schema,
             sigma,
@@ -425,35 +470,47 @@ def _typed_parallel(
             shard_index,
             jobs,
             budget.deadline,
+            engine=f"typed-countermodel[{shard_index}/{jobs}]",
         )
         for shard_index in range(jobs)
     ]
     reports: list[TypedShardReport] = []
-    watching_chase = chase_future is not None
-    pending = set(futures)
+    failed_shards = 0
+    watching_chase = chase_task is not None
+    pending = set(tasks)
     while pending:
-        wait_set = set(pending)
-        if watching_chase and not chase_future.done():
-            wait_set.add(chase_future)
-        done, _ = wait(wait_set, return_when=FIRST_COMPLETED)
-        if watching_chase and chase_future in done:
-            chase_state.absorb(chase_future.result())
+        if watching_chase and chase_task.settled:
             watching_chase = False
+            chase_state.settle_task(chase_task)
             # Only a chase TRUE transfers to the typed context; FALSE
             # from an untyped fixpoint proves nothing over U_f(Delta).
-            if chase_state.result.answer is Trilean.TRUE:
-                for future in futures:
-                    future.cancel()
+            if (
+                chase_state.result is not None
+                and chase_state.result.answer is Trilean.TRUE
+            ):
+                for task in pending:
+                    supervisor.cancel(task)
                 out.exhausted = False
                 out.elapsed = time.perf_counter() - began
                 raise _RaceInterrupted
-        for future in done:
-            if future is chase_future:
-                continue
-            reports.append(future.result())
-            pending.discard(future)
+        settled = {t for t in pending if t.settled}
+        if not settled:
+            watch = set(pending)
+            if watching_chase and not chase_task.settled:
+                watch.add(chase_task)
+            supervisor.wait_any(watch)
+            continue
+        for task in settled:
+            pending.discard(task)
+            if task.failed:
+                failed_shards += 1
+            else:
+                reports.append(task.result())
     out.examined = sum(r.examined for r in reports)
-    out.exhausted = all(r.exhausted for r in reports)
+    out.exhausted = (
+        all(r.exhausted for r in reports) and failed_shards == 0
+    )
+    out.fault_stop = failed_shards > 0
     hits = [r for r in reports if r.hit_index is not None]
     if hits:
         best = min(hits, key=lambda r: r.hit_index)
@@ -464,6 +521,7 @@ def _typed_parallel(
 
 
 def _sequential_typed(
+    supervisor: WorkerSupervisor,
     schema: Schema,
     sigma: tuple[PathConstraint, ...],
     phi: PathConstraint,
@@ -472,15 +530,22 @@ def _sequential_typed(
     max_oids: int,
     max_set_size: int,
 ) -> CountermodelOutcome:
-    report = scan_typed_instances(
+    task = supervisor.submit(
+        _typed_shard_task,
         schema,
         sigma,
         phi,
-        max_oids=max_oids,
-        max_set_size=max_set_size,
-        limit=limit,
-        deadline=budget.deadline,
+        max_oids,
+        max_set_size,
+        limit,
+        0,
+        1,
+        budget.deadline,
+        engine="typed-countermodel",
     )
+    if task.failed:
+        return CountermodelOutcome(exhausted=False, fault_stop=True)
+    report = task.result()
     return CountermodelOutcome(
         graph=report.graph,
         certificate=report.instance,
@@ -499,6 +564,8 @@ def run_portfolio(
     typed_search_limit: int = 2_000,
     typed_max_oids: int = 2,
     typed_max_set_size: int = 2,
+    max_respawns: int = 2,
+    fault_plan: FaultPlan | None = None,
 ) -> ImplicationResult:
     """Semi-decide an undecidable-cell implication with a portfolio.
 
@@ -506,14 +573,19 @@ def run_portfolio(
     .ImplicationProblem` in an undecidable (fragment, context) cell.
     With ``jobs <= 1`` the engines run sequentially in-process (chase
     first, then counter-model search — the seed pipeline); with
-    ``jobs > 1`` they race across a process pool with first-winner
-    cancellation.  Every returned result carries per-engine
-    :class:`EngineStats`.
+    ``jobs > 1`` they race across a supervised process pool with
+    first-winner cancellation.  Worker crashes are respawned at most
+    ``max_respawns`` times before degrading to in-process execution;
+    ``fault_plan`` (default: the ``$REPRO_INJECT`` environment spec)
+    enables deterministic fault injection.  Every returned result
+    carries per-engine :class:`EngineStats` and a
+    :class:`~repro.reasoning.result.FaultReport`.
     """
     # Imported here: dispatcher imports this module's Budget/run_portfolio.
     from repro.reasoning.dispatcher import Context, classify
 
     budget = budget or Budget()
+    plan = fault_plan if fault_plan is not None else plan_from_env()
     sigma = tuple(problem.sigma)
     phi = problem.phi
     context = problem.context
@@ -529,61 +601,81 @@ def run_portfolio(
             else "no deadline"
         ),
     ]
+    if plan.active:
+        notes.append(f"fault injection active: {plan.describe()}")
     untyped = context is Context.SEMISTRUCTURED
 
     chase_state = _ChaseState()
-    if jobs <= 1:
-        chase_state.absorb(
-            _chase_task(sigma, phi, chase_steps, budget.deadline)
+    with WorkerSupervisor(
+        jobs=jobs,
+        budget=budget,
+        plan=plan,
+        max_respawns=max_respawns,
+    ) as supervisor:
+        chase_task = supervisor.submit(
+            _chase_task,
+            sigma,
+            phi,
+            chase_steps,
+            budget.deadline,
+            engine="chase",
         )
-        if untyped and chase_state.definite:
-            return _finish_chase_win(chase_state, notes, untyped=True)
-        if not untyped and chase_state.result.answer is Trilean.TRUE:
-            return _finish_chase_win(chase_state, notes, untyped=False)
-        if untyped:
-            search = _sequential_countermodel(
-                sigma, phi, labels, countermodel_nodes, budget
+        if supervisor.inline:
+            # Sequential pipeline: the chase already ran synchronously.
+            chase_state.settle_task(chase_task)
+            if untyped and chase_state.definite:
+                return _finish_chase_win(
+                    chase_state, notes, untyped=True, supervisor=supervisor
+                )
+            if (
+                not untyped
+                and chase_state.result is not None
+                and chase_state.result.answer is Trilean.TRUE
+            ):
+                return _finish_chase_win(
+                    chase_state, notes, untyped=False, supervisor=supervisor
+                )
+            if untyped:
+                search = _sequential_countermodel(
+                    supervisor, sigma, phi, labels, countermodel_nodes, budget
+                )
+            else:
+                search = _sequential_typed(
+                    supervisor,
+                    problem.schema,
+                    sigma,
+                    phi,
+                    budget,
+                    typed_search_limit,
+                    typed_max_oids,
+                    typed_max_set_size,
+                )
+            return _combine(
+                chase_state,
+                search,
+                notes,
+                untyped,
+                countermodel_nodes,
+                jobs,
+                supervisor,
             )
-        else:
-            search = _sequential_typed(
-                problem.schema,
-                sigma,
-                phi,
-                budget,
-                typed_search_limit,
-                typed_max_oids,
-                typed_max_set_size,
-            )
-        return _combine(
-            chase_state, search, notes, untyped, countermodel_nodes, jobs
-        )
 
-    # Not a ``with`` block: Executor.__exit__ joins running tasks, but
-    # first-winner cancellation wants to return the moment a certificate
-    # exists.  shutdown(wait=False, cancel_futures=True) drops pending
-    # work; an already-running loser finishes in its worker process and
-    # is discarded.
-    pool = ProcessPoolExecutor(max_workers=jobs)
-    try:
-        chase_future = pool.submit(
-            _chase_task, sigma, phi, chase_steps, budget.deadline
-        )
         try:
             if untyped:
                 search = _drain_levels(
-                    pool,
+                    supervisor,
                     sigma,
                     phi,
                     labels,
                     countermodel_nodes,
                     jobs,
                     budget,
-                    chase_future,
+                    chase_task,
                     chase_state,
                 )
             else:
                 search = _typed_parallel(
-                    pool,
+                    supervisor,
                     problem.schema,
                     sigma,
                     phi,
@@ -592,27 +684,49 @@ def run_portfolio(
                     typed_search_limit,
                     typed_max_oids,
                     typed_max_set_size,
-                    chase_future,
+                    chase_task,
                     chase_state,
                 )
         except _RaceInterrupted:
-            return _finish_chase_win(chase_state, notes, untyped)
+            return _finish_chase_win(
+                chase_state, notes, untyped, supervisor
+            )
         if search.graph is not None:
             # Refutation certificate in hand; the chase can stop.
-            chase_future.cancel()
-        elif chase_state.result is None:
-            # Search exhausted/budgeted without the chase finishing:
-            # its verdict is the only hope left, so wait for it.
-            chase_state.absorb(chase_future.result())
-            if untyped and chase_state.definite:
-                return _finish_chase_win(chase_state, notes, untyped=True)
-            if not untyped and chase_state.result.answer is Trilean.TRUE:
-                return _finish_chase_win(chase_state, notes, untyped=False)
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
-    return _combine(
-        chase_state, search, notes, untyped, countermodel_nodes, jobs
-    )
+            supervisor.cancel(chase_task)
+        elif chase_state.result is None and not chase_state.failed:
+            # Search exhausted/budgeted/faulted without the chase
+            # finishing: its verdict is the only hope left, so wait.
+            supervisor.wait_any({chase_task})
+            if chase_task.settled and not chase_task.cancelled:
+                chase_state.settle_task(chase_task)
+                if untyped and chase_state.definite:
+                    return _finish_chase_win(
+                        chase_state,
+                        notes,
+                        untyped=True,
+                        supervisor=supervisor,
+                    )
+                if (
+                    not untyped
+                    and chase_state.result is not None
+                    and chase_state.result.answer is Trilean.TRUE
+                ):
+                    return _finish_chase_win(
+                        chase_state,
+                        notes,
+                        untyped=False,
+                        supervisor=supervisor,
+                    )
+        return _combine(
+            chase_state,
+            search,
+            notes,
+            untyped,
+            countermodel_nodes,
+            jobs,
+            supervisor,
+        )
 
 
 def _search_stats(
@@ -647,13 +761,18 @@ def _collect_stats(
 
 
 def _finish_chase_win(
-    chase_state: _ChaseState, notes: list[str], untyped: bool
+    chase_state: _ChaseState,
+    notes: list[str],
+    untyped: bool,
+    supervisor: WorkerSupervisor,
 ) -> ImplicationResult:
     chased = chase_state.result
     stats = _collect_stats(chase_state, None)
+    faults = supervisor.fault_report(answered_by="chase")
     if untyped:
         chased.notes = tuple(notes) + chased.notes
         chased.stats = stats
+        chased.faults = faults
         return chased
     # Typed context: only TRUE lands here, and it transfers because
     # U(Delta) is a subclass of all structures.
@@ -664,6 +783,7 @@ def _finish_chase_win(
         certificate=chased.certificate,
         notes=tuple(notes),
         stats=stats,
+        faults=faults,
     )
 
 
@@ -674,9 +794,12 @@ def _combine(
     untyped: bool,
     countermodel_nodes: int,
     jobs: int,
+    supervisor: WorkerSupervisor,
 ) -> ImplicationResult:
     stats = _collect_stats(chase_state, _search_stats(search, untyped, jobs))
     if search.graph is not None:
+        answered_by = "countermodel" if untyped else "typed-countermodel"
+        faults = supervisor.fault_report(answered_by=answered_by)
         if untyped:
             return ImplicationResult(
                 answer=Trilean.FALSE,
@@ -685,6 +808,7 @@ def _combine(
                 countermodel=search.graph,
                 notes=tuple(notes),
                 stats=stats,
+                faults=faults,
             )
         return ImplicationResult(
             answer=Trilean.FALSE,
@@ -694,11 +818,21 @@ def _combine(
             certificate=search.certificate,
             notes=tuple(notes),
             stats=stats,
+            faults=faults,
         )
-    if untyped and not search.exhausted:
+    if search.fault_stop:
+        notes = notes + [
+            "countermodel search truncated by an unrecoverable worker "
+            "fault; the unexplored region is treated like budget expiry"
+        ]
+    elif untyped and not search.exhausted:
         notes = notes + [
             f"countermodel search stopped by budget before exhausting "
             f"{countermodel_nodes}-node bound"
+        ]
+    if chase_state.failed:
+        notes = notes + [
+            "chase engine failed every attempt; its verdict is forfeit"
         ]
     chased = chase_state.result
     extra = chased.notes if chased is not None else ()
@@ -711,4 +845,5 @@ def _combine(
         decidable=False,
         notes=tuple(notes) + tuple(extra),
         stats=stats,
+        faults=supervisor.fault_report(),
     )

@@ -45,6 +45,82 @@ class EngineStats:
         return ", ".join(parts)
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault observed (and survived) by the execution runtime.
+
+    ``kind`` is a closed vocabulary: ``worker-crash`` (a worker died
+    and took its pool generation with it), ``pool-respawn`` (a fresh
+    pool replaced a broken one), ``pool-degraded`` (respawns
+    exhausted; execution fell back in-process), ``task-error`` (a task
+    raised in its worker), ``task-retry`` (the task was resubmitted),
+    ``task-degraded`` (the task re-ran in-process), ``retry-exhausted``
+    (every attempt failed; the engine abstains), ``injected`` (a
+    deliberate fault from the injection layer fired).
+    """
+
+    kind: str
+    engine: str
+    attempt: int = 0
+    detail: str = ""
+
+    def describe(self) -> str:
+        text = f"{self.kind}@{self.engine}"
+        if self.attempt:
+            text += f"#{self.attempt}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Everything that went wrong — and was absorbed — during a solve.
+
+    Attached to every :class:`ImplicationResult` (empty in the common
+    clean run).  ``answered_by`` names the engine whose certificate
+    ultimately decided the answer (empty for UNKNOWN); it is recorded
+    even on clean runs of the fault-tolerant portfolio so callers can
+    audit which engine a degraded run trusted.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    retries: int = 0
+    degradations: int = 0
+    answered_by: str = ""
+
+    @property
+    def clean(self) -> bool:
+        """True when no fault of any kind was observed."""
+        return not self.events
+
+    def describe(self) -> str:
+        parts = [
+            f"retries={self.retries}",
+            f"degradations={self.degradations}",
+        ]
+        if self.answered_by:
+            parts.append(f"answered_by={self.answered_by}")
+        parts.extend(event.describe() for event in self.events)
+        return ", ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "degradations": self.degradations,
+            "answered_by": self.answered_by,
+            "events": [
+                {
+                    "kind": e.kind,
+                    "engine": e.engine,
+                    "attempt": e.attempt,
+                    "detail": e.detail,
+                }
+                for e in self.events
+            ],
+        }
+
+
 @dataclass
 class ImplicationResult:
     """Answer to "does Sigma (finitely) imply phi?" in some context.
@@ -65,6 +141,7 @@ class ImplicationResult:
     certificate: Any = None
     notes: tuple[str, ...] = field(default_factory=tuple)
     stats: tuple[EngineStats, ...] = field(default_factory=tuple)
+    faults: FaultReport = field(default_factory=FaultReport)
 
     @property
     def implied(self) -> bool:
@@ -88,6 +165,8 @@ class ImplicationResult:
             )
         for engine in self.stats:
             parts.append(f"engine[{engine.describe()}]")
+        if not self.faults.clean:
+            parts.append(f"faults[{self.faults.describe()}]")
         for note in self.notes:
             parts.append(f"note={note}")
         return "; ".join(parts)

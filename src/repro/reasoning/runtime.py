@@ -1,0 +1,511 @@
+"""Supervised execution runtime: crash-isolated, retryable engine runs.
+
+The portfolio (:mod:`repro.reasoning.portfolio`) races engines across
+a ``ProcessPoolExecutor``.  Before this module existed, a single
+worker segfault, OOM-kill or pickling failure surfaced as an unhandled
+``BrokenProcessPool`` that destroyed the whole ``solve()`` call.  The
+paper's own decidable/semi-decidable split says exactly what degraded
+operation must preserve: TRUE/FALSE certificates stay sound (they are
+independently verifiable objects — an I_r proof or a counter-model),
+and UNKNOWN is the only permissible casualty of infrastructure
+failure.
+
+:class:`WorkerSupervisor` enforces that contract around every pool
+interaction:
+
+* **crash isolation** — a broken pool is caught, the dead generation
+  abandoned, and a fresh pool respawned (at most ``max_respawns``
+  times, with capped exponential backoff clipped to the remaining
+  budget);
+* **restartable tasks** — every submission keeps its full call spec,
+  so a respawn resubmits exactly the lost work: counter-model shards
+  restart from their ``(start, stop)`` code range instead of
+  recomputing the level;
+* **graceful degradation** — when respawns are exhausted (or a
+  payload provably cannot cross the process boundary) the task runs
+  in-process under the surviving absolute deadline.  Tasks observed
+  in-flight across repeated pool crashes are *quarantined* instead —
+  degrading a genuinely crashing task in-process would take the whole
+  solver down with it;
+* **typed failures** — nothing below this layer ever leaks
+  ``BrokenProcessPool``: a task that fails every attempt settles with
+  :class:`~repro.errors.RetryExhausted` (or
+  :class:`~repro.errors.WorkerCrashError` for quarantined crashers),
+  and callers turn that into an honest UNKNOWN contribution;
+* **accounting** — every retry, respawn, degradation and injected
+  fault becomes a :class:`~repro.reasoning.result.FaultEvent`,
+  surfaced on the :class:`~repro.reasoning.result.ImplicationResult`
+  as its ``faults`` record.
+
+The deterministic fault-injection hooks live in
+:mod:`repro.reasoning.faultinject`; the supervisor consults the plan
+at submission time (task ordinals are assigned by a deterministic
+counter), so injected faults are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import RetryExhausted, WorkerCrashError
+from repro.reasoning.faultinject import (
+    NO_FAULT,
+    CorruptPayload,
+    FaultAction,
+    FaultPlan,
+    invoke,
+)
+from repro.reasoning.result import FaultEvent, FaultReport
+
+
+@dataclass(frozen=True)
+class Budget:
+    """A wall-clock budget shared by every engine of a portfolio run.
+
+    ``deadline`` is absolute on the ``time.monotonic()`` clock;
+    ``None`` means unlimited.  Monotonic time is immune to NTP steps
+    and wall-clock jumps, so a deadline can neither silently expire
+    nor silently extend; on Linux ``CLOCK_MONOTONIC`` is system-wide,
+    so the absolute value remains meaningful in every worker process
+    of the pool (the cross-process threading the portfolio relies on).
+    The object is immutable and picklable.
+    """
+
+    deadline: float | None = None
+
+    @classmethod
+    def from_seconds(cls, seconds: float | None) -> "Budget":
+        """A budget expiring ``seconds`` from now (``None`` = none)."""
+        if seconds is None:
+            return cls(deadline=None)
+        return cls(deadline=time.monotonic() + seconds)
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def remaining(self) -> float | None:
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+
+@dataclass(eq=False)
+class SupervisedTask:
+    """One engine invocation tracked across retries and pool deaths.
+
+    The ``fn``/``args`` spec is the restart unit: whatever generation
+    of the pool runs it (or the supervisor itself, in degraded mode),
+    the call is identical, so counter-model shards always re-scan
+    exactly their assigned ``(start, stop)`` range.
+    """
+
+    fn: Callable
+    args: tuple
+    engine: str
+    ordinal: int
+    action: FaultAction = NO_FAULT
+    future: Future | None = None
+    attempts: int = 0
+    pool_gen: int = -1
+    #: pool generations this task was in flight for when the pool
+    #: broke — the quarantine heuristic's evidence.
+    crash_exposures: int = 0
+    settled: bool = False
+    cancelled: bool = False
+    inprocess_tried: bool = False
+    value: Any = None
+    error: BaseException | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.settled and self.error is not None
+
+    def result(self) -> Any:
+        if not self.settled:
+            raise RuntimeError(f"task {self.engine} is not settled")
+        if self.cancelled:
+            raise RuntimeError(f"task {self.engine} was cancelled")
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    def _settle(self, value: Any) -> None:
+        self.settled, self.value = True, value
+
+    def _settle_failed(self, error: BaseException) -> None:
+        self.settled, self.error = True, error
+
+    def _mark_cancelled(self) -> None:
+        self.settled, self.cancelled = True, True
+
+
+class WorkerSupervisor:
+    """Fault-tolerant façade over one portfolio run's process pool.
+
+    With ``jobs <= 1`` no pool is ever created: submissions run
+    inline, synchronously, in submission order (the seed's sequential
+    pipeline), still with injection, retry and fault accounting.
+
+    Use as a context manager; ``__exit__`` tears the pool down on
+    every path, including exceptions and ``KeyboardInterrupt``, and
+    reaps lingering worker processes so nothing is orphaned.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        budget: Budget | None = None,
+        plan: FaultPlan | None = None,
+        max_respawns: int = 2,
+        max_task_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.inline = jobs <= 1
+        self.budget = budget or Budget()
+        self.plan = plan or FaultPlan()
+        self.max_respawns = max_respawns
+        self.max_task_retries = max_task_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_gen = 0
+        self._respawns = 0
+        self._degraded = False
+        self._ordinal = 0
+        self._tasks: list[SupervisedTask] = []
+        self.events: list[FaultEvent] = []
+        self.retries = 0
+        self.degradations = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "WorkerSupervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Tear the pool down unconditionally; never raises."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            _abandon_pool(pool)
+
+    # -- accounting ---------------------------------------------------
+
+    def _record(
+        self, kind: str, engine: str, attempt: int = 0, detail: str = ""
+    ) -> None:
+        self.events.append(FaultEvent(kind, engine, attempt, detail[:200]))
+
+    def fault_report(self, answered_by: str = "") -> FaultReport:
+        """The run's fault record, for ``ImplicationResult.faults``."""
+        return FaultReport(
+            events=tuple(self.events),
+            retries=self.retries,
+            degradations=self.degradations,
+            answered_by=answered_by,
+        )
+
+    # -- submission ---------------------------------------------------
+
+    def submit(
+        self, fn: Callable, *args, engine: str = "task"
+    ) -> SupervisedTask:
+        """Submit ``fn(*args)`` as a supervised, restartable task."""
+        ordinal = self._ordinal
+        self._ordinal += 1
+        action = self.plan.action_for(ordinal)
+        task = SupervisedTask(
+            fn=fn, args=args, engine=engine, ordinal=ordinal, action=action
+        )
+        if action.fires:
+            self._record("injected", engine, detail=action.describe())
+        self._tasks.append(task)
+        if self.inline or self._degraded:
+            self._run_in_process(task)
+        else:
+            self._submit_to_pool(task)
+        return task
+
+    def cancel(self, task: SupervisedTask) -> None:
+        """Cancel a task the caller no longer needs (never retried)."""
+        if task.settled:
+            return
+        if task.future is not None:
+            task.future.cancel()
+        task._mark_cancelled()
+
+    # -- waiting ------------------------------------------------------
+
+    def wait_any(
+        self,
+        tasks: Iterable[SupervisedTask],
+        timeout: float | None = None,
+    ) -> set[SupervisedTask]:
+        """Block until at least one task settles; return all settled.
+
+        Fault handling happens *inside* this call: broken pools are
+        respawned, failed attempts retried or degraded, so by the time
+        a task is returned it is genuinely settled — with a value, a
+        typed error, or a cancellation — never a bare pool exception.
+        """
+        tasks = list(tasks)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            done = {t for t in tasks if t.settled}
+            if done:
+                return done
+            future_map = {
+                t.future: t for t in tasks if t.future is not None
+            }
+            if not future_map:
+                return set()
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            finished, _ = wait(
+                set(future_map),
+                timeout=remaining,
+                return_when=FIRST_COMPLETED,
+            )
+            if not finished:
+                return set()
+            for future in finished:
+                task = future_map[future]
+                if task.settled or future is not task.future:
+                    continue  # superseded by a newer attempt
+                self._absorb(task, future)
+
+    # -- fault handling (private) -------------------------------------
+
+    def _pool_or_spawn(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _submit_to_pool(self, task: SupervisedTask) -> None:
+        action = task.action if task.attempts == 0 else NO_FAULT
+        poison = CorruptPayload() if action.kind == "corrupt" else None
+        task.attempts += 1
+        task.pool_gen = self._pool_gen
+        try:
+            task.future = self._pool_or_spawn().submit(
+                invoke,
+                action.kind,
+                action.param,
+                False,
+                task.fn,
+                task.args,
+                poison,
+            )
+        except BrokenExecutor as exc:
+            task.future = None
+            self._handle_pool_break(task.engine, exc)
+
+    def _absorb(self, task: SupervisedTask, future: Future) -> None:
+        if future.cancelled():  # pragma: no cover - defensive
+            task._mark_cancelled()
+            return
+        error = future.exception()
+        if error is None:
+            task._settle(future.result())
+        elif isinstance(error, BrokenExecutor):
+            self._handle_pool_break(task.engine, error)
+        else:
+            self._task_failure(task, error)
+
+    def _handle_pool_break(
+        self, engine: str, exc: BaseException
+    ) -> None:
+        """A worker died and took the pool generation with it."""
+        self._record(
+            "worker-crash",
+            engine,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            _abandon_pool(pool)
+        self._pool_gen += 1
+        lost = [t for t in self._tasks if not t.settled]
+        for task in lost:
+            if task.future is not None:
+                task.crash_exposures += 1
+                task.future = None
+        if self._respawns >= self.max_respawns or self.budget.expired:
+            self._degrade(lost)
+            return
+        self._respawns += 1
+        self._backoff(self._respawns)
+        self._record(
+            "pool-respawn",
+            engine,
+            attempt=self._respawns,
+            detail=f"respawn {self._respawns}/{self.max_respawns}",
+        )
+        for task in lost:
+            if task.settled or task.future is not None:
+                continue  # handled by a nested break/degrade
+            self.retries += 1
+            self._record("task-retry", task.engine, task.attempts)
+            self._submit_to_pool(task)
+
+    def _degrade(self, tasks: list[SupervisedTask]) -> None:
+        """Abandon the pool; finish the remaining work in-process."""
+        if not self._degraded:
+            self._degraded = True
+            self._record(
+                "pool-degraded",
+                "pool",
+                attempt=self._respawns,
+                detail=f"respawns exhausted ({self.max_respawns})"
+                if not self.budget.expired
+                else "budget expired during recovery",
+            )
+        for task in tasks:
+            if task.settled:
+                continue
+            if task.crash_exposures >= 2:
+                # In flight across repeated pool crashes: running it in
+                # this process could kill the solver itself.
+                self._record(
+                    "retry-exhausted",
+                    task.engine,
+                    task.attempts,
+                    "quarantined as a suspected crashing task",
+                )
+                task._settle_failed(
+                    WorkerCrashError(
+                        f"task {task.engine!r} was in flight for "
+                        f"{task.crash_exposures} pool crashes; quarantined"
+                    )
+                )
+                continue
+            self._run_in_process(task)
+
+    def _run_in_process(self, task: SupervisedTask) -> None:
+        action = task.action if task.attempts == 0 else NO_FAULT
+        task.attempts += 1
+        task.inprocess_tried = True
+        if not self.inline and self._degraded:
+            self.degradations += 1
+            self._record("task-degraded", task.engine, task.attempts)
+        try:
+            value = invoke(
+                action.kind, action.param, True, task.fn, task.args
+            )
+        except Exception as exc:  # noqa: BLE001 - typed at the boundary
+            self._task_failure(task, exc)
+        else:
+            task._settle(value)
+
+    def _task_failure(
+        self, task: SupervisedTask, exc: BaseException
+    ) -> None:
+        """One attempt raised (in a worker, the pickler, or inline)."""
+        self._record(
+            "task-error",
+            task.engine,
+            task.attempts,
+            f"{type(exc).__name__}: {exc}",
+        )
+        if task.attempts <= self.max_task_retries:
+            self.retries += 1
+            self._record("task-retry", task.engine, task.attempts)
+            if self.inline or self._degraded:
+                self._run_in_process(task)
+            else:
+                self._submit_to_pool(task)
+            return
+        if not task.inprocess_tried:
+            # Final fallback: maybe only the process boundary is broken
+            # (an unpicklable payload reproduces forever in the pool
+            # and never in-process).
+            self.degradations += 1
+            self._record("task-degraded", task.engine, task.attempts)
+            # One in-process shot, no further retries.
+            task.attempts = self.max_task_retries + 1
+            try:
+                task._settle(
+                    invoke("none", 0.0, True, task.fn, task.args)
+                )
+            except Exception as final:  # noqa: BLE001
+                self._record(
+                    "retry-exhausted",
+                    task.engine,
+                    task.attempts,
+                    f"{type(final).__name__}: {final}",
+                )
+                wrapped = RetryExhausted(
+                    f"task {task.engine!r} failed every attempt "
+                    f"({task.attempts}): {final}"
+                )
+                wrapped.__cause__ = final
+                task._settle_failed(wrapped)
+            return
+        self._record(
+            "retry-exhausted",
+            task.engine,
+            task.attempts,
+            f"{type(exc).__name__}: {exc}",
+        )
+        wrapped = RetryExhausted(
+            f"task {task.engine!r} failed every attempt "
+            f"({task.attempts}): {exc}"
+        )
+        wrapped.__cause__ = exc
+        task._settle_failed(wrapped)
+
+    def _backoff(self, attempt: int) -> None:
+        delay = min(
+            self.backoff_cap, self.backoff_base * (2 ** (attempt - 1))
+        )
+        remaining = self.budget.remaining()
+        if remaining is not None:
+            delay = min(delay, remaining)
+        if delay > 0:
+            time.sleep(delay)
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down without waiting, then reap straggler workers.
+
+    ``shutdown(wait=False, cancel_futures=True)`` drops pending work
+    but lets an already-running loser finish its current task; a
+    crashed pool may also hold zombie workers.  Terminating what is
+    left guarantees the no-orphan property the tests assert.
+    """
+    # Snapshot first: Executor.shutdown() clears the _processes dict
+    # even with wait=False, which would leave us nothing to reap.
+    processes = dict(getattr(pool, "_processes", None) or {})
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+    for proc in list(processes.values()):
+        try:
+            if proc.is_alive():
+                proc.terminate()
+        except Exception:  # pragma: no cover - defensive
+            pass
+    for proc in list(processes.values()):
+        try:
+            proc.join(timeout=1.0)
+        except Exception:  # pragma: no cover - defensive
+            pass

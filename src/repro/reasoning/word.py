@@ -135,7 +135,7 @@ class WordImplicationDecider:
         fragment; see the module docstring for the layered strategy
         (and the :class:`~repro.errors.IncompleteFragmentError` escape
         hatch) outside it.  ``chase_steps`` and ``deadline`` (absolute
-        ``time.time()``) bound the equality-generating chase fallback
+        ``time.monotonic()``) bound the equality-generating chase fallback
         only — the rewriting core always runs to completion.
         """
         _require_word(phi)

@@ -250,6 +250,9 @@ class TestChaseFallbackBudget:
             solve(problem, chase_steps=1)
 
     def test_expired_deadline_raises(self):
+        # Deadlines are absolute time.monotonic() values (a wall-clock
+        # time.time() instant would sit decades in the monotonic
+        # future and never expire).
         import time
 
         from repro.errors import IncompleteFragmentError
@@ -258,5 +261,5 @@ class TestChaseFallbackBudget:
             implies_word(
                 parse_constraints(self.SIGMA),
                 parse_constraint(self.PHI),
-                deadline=time.time() - 1,
+                deadline=time.monotonic() - 1,
             )
