@@ -29,4 +29,20 @@ done
 # without the marker filter they drown in the rest of the suite).
 python -m pytest tests -m stress -q
 
-exec python -m pytest benchmarks/ -m bench -s "$@"
+python -m pytest benchmarks/ -m bench -s "$@"
+
+# Parallel-regression gate: with cost-model dispatch, asking for more
+# jobs must never cost more than it buys.  The benchmark asserts this
+# too; gating again on the emitted JSON keeps the check honest if the
+# benchmark's internal assertion is ever refactored away.
+python - <<'EOF'
+import json
+
+small = json.load(open("BENCH_portfolio.json"))["small_untyped"]
+t = small["timings_seconds"]
+j1, j2 = t["jobs_1"], t["jobs_2"]
+assert j2 <= 1.1 * j1 + 0.05, (
+    f"regression gate: jobs=2 ({j2:.3f}s) lost to jobs=1 ({j1:.3f}s)"
+)
+print(f"jobs_1={j1:.3f}s jobs_2={j2:.3f}s: parallel regression gate ok")
+EOF

@@ -20,4 +20,17 @@ python -m repro fuzz --seed 7 --per-fragment 25
 python -m repro fuzz --seed 7 --per-fragment 5 \
     --inject-rate 0.25 --inject-seed 7
 
+# --jobs auto smoke: cost-model dispatch end-to-end on an undecidable
+# cell (the divergent-chase instance whose 3-node counter-model the
+# portfolio must find), clean and under a hostile fault plan.  Exit 0
+# means a definite answer; injected faults may only demote to UNKNOWN
+# (exit 2), never error out.
+sigma_file="$(mktemp)"
+trap 'rm -f "$sigma_file"' EXIT
+printf '() => K\nK :: () => a.a.a\nK :: a.a.a => ()\na :: a => a\n' \
+    > "$sigma_file"
+python -m repro imply "$sigma_file" 'K :: a => ()' --jobs auto
+python -m repro imply "$sigma_file" 'K :: a => ()' --jobs auto \
+    --inject kill:1,raise:2 || [ $? -eq 2 ]
+
 exec python -m pytest -x -q "$@"

@@ -6,12 +6,15 @@ Commands
     Validate a graph (JSON, the ``repro.graph.serialize`` dict format)
     against a constraint file (line syntax); exit 1 on violations.
 ``imply CONSTRAINTS QUERY [--context CTX] [--schema XMLDATA]
-[--jobs N] [--deadline S] [--inject SPEC] [--max-respawns N]``
+[--jobs N|auto] [--deadline S] [--inject SPEC] [--max-respawns N]``
     Decide/semi-decide an implication question; prints the answer,
     method and Table 1 cell.  ``--schema`` takes an XML-Data file and
     is required for typed contexts.  On undecidable cells ``--jobs``
-    races the chase against sharded counter-model search over a
-    supervised process pool, ``--deadline`` caps the whole portfolio
+    caps the parallelism of the chase / counter-model race
+    (``auto`` sizes it to the machine; a cost model then picks
+    inline, in-process sharded, or pooled execution per solve, so
+    extra jobs never lose to ``--jobs 1``), ``--deadline`` caps the
+    whole portfolio
     in wall-clock seconds, ``--max-respawns`` bounds pool respawns
     after worker crashes, and ``--inject`` enables deterministic fault
     injection (``kill:3``, ``delay:2:0.5``, ``corrupt:1``, ``raise:0``,
@@ -109,17 +112,32 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_jobs(text: str) -> int | str:
+    """``--jobs`` value: a positive int, or ``auto`` for the cost model."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise ValueError(
+            f"--jobs must be a positive integer or 'auto', got {text!r}"
+        ) from None
+
+
 def _cmd_imply(args: argparse.Namespace) -> int:
     sigma = _load_constraints(args.constraints)
     phi = parse_constraint(args.query)
     context = Context(args.context)
     schema = _load_schema(args.schema) if args.schema else None
     problem = ImplicationProblem(sigma, phi, context, schema=schema)
+    jobs = _parse_jobs(args.jobs)
     decidable, _ = table1_cell(classify(sigma, phi), context)
     if decidable:
         # The portfolio knobs only drive the semi-decision pipeline;
         # telling the user beats silently ignoring their flags.
-        if args.jobs != 1:
+        # ``auto`` stays quiet: it delegates the choice rather than
+        # demanding parallelism.
+        if jobs != "auto" and jobs != 1:
             print(
                 "warning: --jobs ignored (decidable cell runs the "
                 "complete decider in-process)",
@@ -139,7 +157,7 @@ def _cmd_imply(args: argparse.Namespace) -> int:
     result = solve(
         problem,
         allow_semidecision=not args.strict,
-        jobs=args.jobs,
+        jobs=jobs,
         deadline=args.deadline,
         max_respawns=args.max_respawns,
         inject=inject,
@@ -293,10 +311,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dump-countermodel", metavar="FILE")
     p.add_argument(
         "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for the semi-decision portfolio "
-        "(1 = sequential, no pool)",
+        default="1",
+        metavar="N|auto",
+        help="parallelism cap for the semi-decision portfolio "
+        "(1 = sequential; 'auto' sizes to the machine; a cost model "
+        "picks inline/sharded/pooled execution per solve)",
     )
     p.add_argument(
         "--deadline",

@@ -362,6 +362,10 @@ def _make_portfolio_engine(jobs: int):
                 budget=Budget(deadline=cfg.deadline),
                 chase_steps=cfg.chase_steps,
                 countermodel_nodes=cfg.countermodel_nodes,
+                # The cross-validation point of a jobs>1 oracle is the
+                # pooled runtime itself (and, under --inject, its fault
+                # paths), so bypass the cost model's inline shortcut.
+                execution="pool" if jobs > 1 else "auto",
             )
             cert_ok, note = _certificate_status(result, inst.sigma, inst.phi)
             return result.answer, cert_ok, note

@@ -38,23 +38,41 @@ from repro.reasoning.dispatcher import (
 )
 from repro.reasoning.portfolio import (
     Budget,
+    parallel_countermodel_search,
     parallel_find_countermodel,
     run_portfolio,
 )
+from repro.reasoning.costmodel import (
+    ExecMode,
+    ExecutionDecision,
+    choose_execution,
+)
 from repro.reasoning.faultinject import FaultPlan
-from repro.reasoning.runtime import WorkerSupervisor
+from repro.reasoning.runtime import (
+    WorkerSupervisor,
+    retire_warm_pool,
+    warm_pool_pids,
+    warm_pool_stats,
+)
 from repro.reasoning.result import EngineStats, FaultEvent, FaultReport
 
 __all__ = [
     "Budget",
     "EngineStats",
+    "ExecMode",
+    "ExecutionDecision",
     "FaultEvent",
     "FaultPlan",
     "FaultReport",
     "ImplicationResult",
     "WorkerSupervisor",
+    "choose_execution",
+    "parallel_countermodel_search",
     "parallel_find_countermodel",
+    "retire_warm_pool",
     "run_portfolio",
+    "warm_pool_pids",
+    "warm_pool_stats",
     "WordImplicationDecider",
     "implies_word",
     "TypedImplicationDecider",

@@ -22,7 +22,7 @@ conclusion path is empty), so the classic chase applies:
 from __future__ import annotations
 
 import time
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 from repro.checking.satisfaction import violations
@@ -56,6 +56,7 @@ def chase(
     sigma: Iterable[PathConstraint],
     max_steps: int = DEFAULT_CHASE_STEPS,
     deadline: float | None = None,
+    should_stop: "Callable[[], bool] | None" = None,
 ) -> ChaseOutcome:
     """Chase a copy of ``graph`` with Sigma until fixpoint or budget.
 
@@ -64,6 +65,8 @@ def chase(
     ``deadline`` is an absolute ``time.monotonic()`` value (the portfolio's
     shared budget); expiry behaves like step-budget exhaustion — the
     chase stops early and the fixpoint recheck runs for real.
+    ``should_stop`` is a cooperative cancellation hook (the portfolio's
+    shared cancel flag) checked at the same points as the deadline.
     """
     sigma = list(sigma)
     # copy() carries the fresh-node watermark forward, so repair paths
@@ -76,6 +79,8 @@ def chase(
 
     def out_of_budget() -> bool:
         if steps >= max_steps:
+            return True
+        if should_stop is not None and should_stop():
             return True
         return deadline is not None and time.monotonic() > deadline
 
@@ -146,6 +151,7 @@ def chase_implication(
     phi: PathConstraint,
     max_steps: int = DEFAULT_CHASE_STEPS,
     deadline: float | None = None,
+    should_stop: "Callable[[], bool] | None" = None,
 ) -> ImplicationResult:
     """Sound three-valued implication test for untyped P_c.
 
@@ -161,7 +167,13 @@ def chase_implication(
     """
     sigma = list(sigma)
     tableau, x, y = tableau_for(phi)
-    outcome = chase(tableau, sigma, max_steps=max_steps, deadline=deadline)
+    outcome = chase(
+        tableau,
+        sigma,
+        max_steps=max_steps,
+        deadline=deadline,
+        should_stop=should_stop,
+    )
     x = outcome.resolve(x)
     y = outcome.resolve(y)
     chased = outcome.graph

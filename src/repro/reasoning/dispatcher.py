@@ -27,6 +27,7 @@ from repro.constraints.classes import (
 from repro.errors import UndecidableProblemError
 from repro.reasoning.chase import DEFAULT_CHASE_STEPS
 from repro.reasoning.local_extent import implies_local_extent
+from repro.reasoning.costmodel import validate_jobs, validate_max_respawns
 from repro.reasoning.faultinject import FaultPlan
 from repro.reasoning.portfolio import Budget, run_portfolio
 from repro.reasoning.result import ImplicationResult
@@ -173,10 +174,11 @@ def solve(
     countermodel_nodes: int = 3,
     typed_search_limit: int = 2_000,
     with_proof: bool = False,
-    jobs: int = 1,
+    jobs: int | str = 1,
     deadline: float | None = None,
     max_respawns: int = 2,
     inject: "FaultPlan | None" = None,
+    execution: str = "auto",
 ) -> ImplicationResult:
     """Decide or semi-decide an implication problem.
 
@@ -185,18 +187,24 @@ def solve(
     semi-deciders runs: the chase (sound both ways, untyped) and
     isomorphism-pruned counter-model search; in typed contexts an
     untyped chase TRUE transfers (``U(Delta)`` is a subclass of all
-    structures) while refutation uses typed counter-models only.  With
-    ``jobs <= 1`` the engines run sequentially in-process; with
-    ``jobs > 1`` they race across a process pool with first-winner
-    cancellation (see :mod:`repro.reasoning.portfolio`).  ``deadline``
-    is a wall-clock budget in seconds shared by every engine.  Pool
-    execution is supervised: worker crashes respawn the pool at most
-    ``max_respawns`` times before degrading to in-process runs, and
-    ``inject`` (default: the ``$REPRO_INJECT`` spec, usually empty)
-    enables deterministic fault injection; every result carries a
-    ``faults`` record.  Without ``allow_semidecision`` an
-    :class:`UndecidableProblemError` is raised.
+    structures) while refutation uses typed counter-models only.
+    ``jobs`` caps the portfolio's parallelism — a positive int, or
+    ``"auto"`` for the CPU count; a cost model then picks inline,
+    in-process sharded, or pooled execution per solve from the
+    closed-form scan size, so extra jobs never cost more than they
+    buy (see :mod:`repro.reasoning.portfolio`; ``execution`` forces a
+    mode).  ``deadline`` is a wall-clock budget in seconds shared by
+    every engine.  Pool execution is supervised: worker crashes
+    respawn the pool at most ``max_respawns`` times before degrading
+    to in-process runs, and ``inject`` (default: the ``$REPRO_INJECT``
+    spec, usually empty) enables deterministic fault injection; every
+    result carries a ``faults`` record.  Without
+    ``allow_semidecision`` an :class:`UndecidableProblemError` is
+    raised.  Nonsensical ``jobs`` or ``max_respawns`` (zero, negative,
+    non-int) raise :class:`ValueError` before any work starts.
     """
+    validate_jobs(jobs)
+    validate_max_respawns(max_respawns)
     problem_class = classify(problem.sigma, problem.phi)
     decidable, _complexity = table1_cell(problem_class, problem.context)
     budget = Budget.from_seconds(deadline)
@@ -241,5 +249,6 @@ def solve(
         typed_search_limit=typed_search_limit,
         max_respawns=max_respawns,
         fault_plan=inject,
+        execution=execution,
     )
     return _reconcile_with_table1(result, problem_class, problem.context)

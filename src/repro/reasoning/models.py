@@ -36,7 +36,7 @@ from __future__ import annotations
 import itertools
 import random
 import time
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Hashable, Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.checking.engine import satisfies_all
@@ -44,7 +44,13 @@ from repro.checking.satisfaction import violations
 from repro.constraints.ast import PathConstraint
 from repro.graph.structure import Graph
 from repro.types.instances import Instance, enumerate_instances
-from repro.types.typesys import Schema
+from repro.types.typesys import (
+    MEMBERSHIP_LABEL,
+    ClassRef,
+    RecordType,
+    Schema,
+    SetType,
+)
 
 
 def infer_alphabet(
@@ -147,6 +153,18 @@ class CodeSpace:
         self.total = 1 << self.bits
         self._byte_count = (self.bits + 7) // 8
         self._perm_tables = self._build_perm_tables()
+
+    @staticmethod
+    def size(node_count: int, label_count: int) -> int:
+        """Closed-form space size ``2^(L*n^2)`` — no tables built.
+
+        The cost model prices a scan with this before deciding how to
+        execute it; constructing a :class:`CodeSpace` just to read
+        ``total`` would pay for the permutation tables up front.
+        """
+        if node_count < 1 or label_count < 0:
+            raise ValueError("need node_count >= 1 and label_count >= 0")
+        return 1 << (label_count * node_count * node_count)
 
     # -- permutation machinery -----------------------------------------
 
@@ -341,6 +359,33 @@ def compile_constraints(
     return out
 
 
+def constraint_program(c: _CompiledConstraint) -> dict:
+    """The JSON-serialisable form of a compiled constraint.
+
+    This is what the shared-memory arena ships to pool workers instead
+    of pickled constraint ASTs: plain label-index words relative to the
+    arena's alphabet.
+    """
+    return {
+        "prefix": list(c.prefix),
+        "lhs": list(c.lhs),
+        "rhs": list(c.rhs),
+        "forward": c.forward,
+    }
+
+
+def constraint_from_program(program: dict) -> _CompiledConstraint:
+    """Rebuild a compiled constraint from :func:`constraint_program`."""
+    rhs = tuple(program["rhs"])
+    return _CompiledConstraint(
+        prefix=tuple(program["prefix"]),
+        lhs=tuple(program["lhs"]),
+        rhs=rhs,
+        forward=bool(program["forward"]),
+        rhs_reversed=tuple(reversed(rhs)),
+    )
+
+
 def _image(adj: list[list[int]], word: tuple[int, ...], frontier: int) -> int:
     """The bitset image of ``frontier`` under a label-index word."""
     for li in word:
@@ -422,6 +467,9 @@ def scan_codes(
     deadline: float | None = None,
     require_reachable: bool = True,
     check_every: int = 4096,
+    should_stop: "Callable[[], bool] | None" = None,
+    compiled_sigma: "Sequence[_CompiledConstraint] | None" = None,
+    compiled_phi: "_CompiledConstraint | None" = None,
 ) -> ShardReport:
     """Scan ``[start, stop)`` for the first canonical counter-model.
 
@@ -429,31 +477,39 @@ def scan_codes(
     ``require_reachable`` (the level-search default) codes with
     root-unreachable nodes are skipped after decoding.  ``deadline``
     is an absolute ``time.monotonic()`` value checked every ``check_every``
-    codes; an expired deadline stops the scan with
-    ``exhausted=False``.  Deterministic: the hit is the smallest
+    codes, as is ``should_stop`` (the cooperative cancellation hook a
+    pool worker polls from a shared :class:`~repro.reasoning.shm.CancelFlag`);
+    either stops the scan with ``exhausted=False``.  Callers that
+    already compiled the constraints against ``space.labels`` (the
+    shared-memory shard path) pass ``compiled_sigma``/``compiled_phi``
+    to skip recompilation.  Deterministic: the hit is the smallest
     counter-model code in range, independent of sharding.
     """
     began = time.perf_counter()
     stop = space.total if stop is None else min(stop, space.total)
-    compiled_sigma = compile_constraints(list(sigma), space.labels)
-    (compiled_phi,) = compile_constraints([phi], space.labels)
+    if compiled_sigma is None:
+        compiled_sigma = compile_constraints(list(sigma), space.labels)
+    if compiled_phi is None:
+        (compiled_phi,) = compile_constraints([phi], space.labels)
     is_canonical = space.is_canonical
     adjacency = space.adjacency
     examined = 0
     canonical = 0
     for code in range(start, stop):
-        if deadline is not None and examined % check_every == 0:
-            if time.monotonic() > deadline:
-                return ShardReport(
-                    node_count=space.node_count,
-                    start=start,
-                    stop=stop,
-                    hit=None,
-                    examined=examined,
-                    canonical=canonical,
-                    exhausted=False,
-                    elapsed=time.perf_counter() - began,
-                )
+        if examined % check_every == 0 and (
+            (deadline is not None and time.monotonic() > deadline)
+            or (should_stop is not None and should_stop())
+        ):
+            return ShardReport(
+                node_count=space.node_count,
+                start=start,
+                stop=stop,
+                hit=None,
+                examined=examined,
+                canonical=canonical,
+                exhausted=False,
+                elapsed=time.perf_counter() - began,
+            )
         examined += 1
         if not is_canonical(code):
             continue
@@ -567,6 +623,143 @@ def random_countermodel(
     return None
 
 
+class _TypedScanPlan:
+    """Compiled machinery for the typed fast-path scan.
+
+    Converts each enumerated instance straight to bitmask adjacency
+    over the *constraint alphabet* and screens it with the compiled
+    evaluator — no :class:`Graph`, sorts, or path caches allocated per
+    candidate.  Node identity is exactly the Lemma 3.1 abstraction's
+    (``Instance._node_key``, extensional dedup included), and the
+    traversal only follows labels the constraints mention: nodes that
+    the reference graph reaches solely through other labels can never
+    enter a path image starting at the root, so forward and backward
+    images — and hence every constraint verdict — agree with the
+    reference checker.  A screen hit is still re-verified against the
+    reference checker before it is reported.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        sigma: Sequence[PathConstraint],
+        phi: PathConstraint,
+    ) -> None:
+        self.schema = schema
+        self.labels = infer_alphabet(list(sigma), phi)
+        self._index = {label: i for i, label in enumerate(self.labels)}
+        self.compiled_sigma = compile_constraints(list(sigma), self.labels)
+        (self.compiled_phi,) = compile_constraints([phi], self.labels)
+        # (id(value), id(tau)) -> (value, tau, key).  The enumeration
+        # reuses value and type objects across yielded instances; the
+        # strong references pin those ids so the memo cannot go stale
+        # through GC id reuse.
+        self._key_memo: dict[
+            tuple[int, int], tuple[object, object, Hashable]
+        ] = {}
+        self._db_eq: dict[int, bool] = {}
+        self._tau_refs: list[object] = []
+        self._memo_safe = not self._db_type_nested()
+
+    def _db_type_nested(self) -> bool:
+        # ``_node_key`` special-cases ``tau == db_type and value ==
+        # entry``, and the entry differs per instance — memoised keys
+        # would go stale across instances if a *nested* position could
+        # carry a type structurally equal to db_type.  No realistic
+        # schema does this; detect it once and fall back to the
+        # reference keys when it happens.
+        db = self.schema.db_type
+        for tau in db.walk():
+            if tau is not db and tau == db:
+                return True
+        for name in self.schema.class_names:
+            body = self.schema.resolve(ClassRef(name))
+            for tau in body.walk():
+                if tau == db:
+                    return True
+        return False
+
+    def _key(self, inst: Instance, value: object, tau: object) -> Hashable:
+        if not self._memo_safe:
+            return inst._node_key(value, tau)
+        tid = id(tau)
+        is_db = self._db_eq.get(tid)
+        if is_db is None:
+            is_db = tau == self.schema.db_type
+            self._db_eq[tid] = is_db
+            self._tau_refs.append(tau)
+        if is_db and value == inst.entry:
+            return "r"
+        memo_key = (id(value), tid)
+        hit = self._key_memo.get(memo_key)
+        if hit is not None:
+            return hit[2]
+        key = inst._node_key(value, tau)
+        self._key_memo[memo_key] = (value, tau, key)
+        return key
+
+    def bitmasks(
+        self, inst: Instance
+    ) -> tuple[list[list[int]], list[list[int]]]:
+        """``(adj, radj)`` rows over ``self.labels`` for one instance."""
+        label_count = len(self.labels)
+        index = self._index
+        schema = self.schema
+        member_li = index.get(MEMBERSHIP_LABEL)
+        rows: list[list[int]] = [[] for _ in range(label_count)]
+        nodes: dict[Hashable, int] = {}
+
+        def new_node(key: Hashable) -> int:
+            nid = len(nodes)
+            nodes[key] = nid
+            for row in rows:
+                row.append(0)
+            return nid
+
+        def visit(nid: int, value: object, tau: object) -> None:
+            body = schema.resolve(tau)
+            if isinstance(tau, ClassRef):
+                value = inst.value_of(value)
+            if isinstance(body, SetType):
+                if member_li is None:
+                    return
+                element = body.element
+                mask = 0
+                for member in value:
+                    mask |= 1 << attach(member, element)
+                rows[member_li][nid] |= mask
+            elif isinstance(body, RecordType):
+                for label in body.labels:
+                    li = index.get(label)
+                    if li is None:
+                        continue
+                    child = attach(value[label], body.field(label))
+                    rows[li][nid] |= 1 << child
+
+        def attach(value: object, tau: object) -> int:
+            key = self._key(inst, value, tau)
+            nid = nodes.get(key)
+            if nid is None:
+                nid = new_node(key)
+                visit(nid, value, tau)
+            return nid
+
+        new_node("r")
+        visit(0, inst.entry, schema.db_type)
+        node_count = len(nodes)
+        radj: list[list[int]] = [[0] * node_count for _ in range(label_count)]
+        for li in range(label_count):
+            row = rows[li]
+            rrow = radj[li]
+            for src in range(node_count):
+                mask = row[src]
+                while mask:
+                    low = mask & -mask
+                    rrow[low.bit_length() - 1] |= 1 << src
+                    mask ^= low
+        return rows, radj
+
+
 @dataclass
 class TypedShardReport:
     """Outcome of scanning one stride of the typed instance stream."""
@@ -593,6 +786,9 @@ def scan_typed_instances(
     shard_index: int = 0,
     shard_count: int = 1,
     deadline: float | None = None,
+    compiled: bool = False,
+    should_stop: Callable[[], bool] | None = None,
+    check_every: int = 32,
 ) -> TypedShardReport:
     """Scan one stride of ``U_f(Delta)``'s small-instance stream.
 
@@ -600,9 +796,16 @@ def scan_typed_instances(
     k + shard_count, ...`` of the deterministic enumeration order and
     stops at its first counter-model; combining shards by minimal
     ``hit_index`` reproduces the sequential result exactly.
+
+    With ``compiled`` each candidate is screened by the bitmask fast
+    path (:class:`_TypedScanPlan`) and only screen hits pay for the
+    reference graph + checker — same hits, a fraction of the work.
+    ``deadline`` and ``should_stop`` are polled every ``check_every``
+    scanned instances.
     """
     began = time.perf_counter()
     sigma = list(sigma)
+    plan = _TypedScanPlan(schema, sigma, phi) if compiled else None
     examined = 0
     for index, instance in enumerate(
         enumerate_instances(
@@ -611,7 +814,10 @@ def scan_typed_instances(
     ):
         if index % shard_count != shard_index:
             continue
-        if deadline is not None and time.monotonic() > deadline:
+        if examined % check_every == 0 and (
+            (deadline is not None and time.monotonic() > deadline)
+            or (should_stop is not None and should_stop())
+        ):
             return TypedShardReport(
                 shard_index=shard_index,
                 shard_count=shard_count,
@@ -623,6 +829,12 @@ def scan_typed_instances(
                 elapsed=time.perf_counter() - began,
             )
         examined += 1
+        if plan is not None:
+            adj, radj = plan.bitmasks(instance)
+            if not _code_is_countermodel(
+                adj, radj, plan.compiled_sigma, plan.compiled_phi
+            ):
+                continue
         graph = instance.to_graph()
         if _is_countermodel(graph, sigma, phi):
             return TypedShardReport(

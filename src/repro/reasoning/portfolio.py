@@ -46,23 +46,45 @@ scans are still running into honest UNKNOWN contributions.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.constraints.ast import PathConstraint
 from repro.graph.structure import Graph
 from repro.reasoning.chase import DEFAULT_CHASE_STEPS, chase_implication
+from repro.reasoning.costmodel import (
+    ExecMode,
+    ExecutionDecision,
+    INLINE_MAX_CODES,
+    choose_execution,
+    estimate_untyped_codes,
+    normalize_jobs,
+    observe_typed_scan,
+    observe_untyped_scan,
+    validate_jobs,
+    validate_max_respawns,
+)
 from repro.reasoning.faultinject import FaultPlan, plan_from_env
 from repro.reasoning.models import (
     CodeSpace,
     ShardReport,
     TypedShardReport,
+    compile_constraints,
+    constraint_from_program,
+    constraint_program,
     infer_alphabet,
     scan_codes,
     scan_typed_instances,
 )
 from repro.reasoning.result import EngineStats, ImplicationResult
-from repro.reasoning.runtime import Budget, SupervisedTask, WorkerSupervisor
+from repro.reasoning.runtime import (
+    Budget,
+    SupervisedTask,
+    WorkerSupervisor,
+    warm_pool_stats,
+)
+from repro.reasoning.shm import CancelFlag, ScanArena
 from repro.truth import Trilean
 from repro.types.typesys import Schema
 
@@ -98,6 +120,9 @@ class CountermodelOutcome:
     #: fault rather than by the budget — same UNKNOWN semantics, but
     #: callers report it differently.
     fault_stop: bool = False
+    #: The cost-model decision this search ran under (None when driven
+    #: by :func:`run_portfolio`, which records it on the result).
+    decision: ExecutionDecision | None = None
 
     @property
     def outcome_label(self) -> str:
@@ -109,8 +134,63 @@ class CountermodelOutcome:
 
 
 # ---------------------------------------------------------------------------
-# Pool tasks (top-level, picklable).
+# Pool tasks (top-level, picklable) and their per-worker caches.
+#
+# A warm pool survives across solve() calls, so workers amortise the
+# expensive per-payload state: the attached arena (with its compiled
+# constraint programs) and the CodeSpace permutation tables.  The
+# caches are tiny LRUs — a worker serving two interleaved solves keeps
+# both arenas mapped; anything older is closed (the parent has long
+# unlinked it, so the close releases the last mapping).
 # ---------------------------------------------------------------------------
+
+_WORKER_ARENAS: OrderedDict[str, tuple] = OrderedDict()
+_WORKER_CANCELS: OrderedDict[str, CancelFlag] = OrderedDict()
+_WORKER_SPACES: OrderedDict[tuple, CodeSpace] = OrderedDict()
+
+
+def _worker_arena(name: str) -> tuple:
+    entry = _WORKER_ARENAS.get(name)
+    if entry is None:
+        arena = ScanArena.attach(name)
+        compiled_sigma = [
+            constraint_from_program(p) for p in arena.sigma_programs
+        ]
+        compiled_phi = constraint_from_program(arena.phi_program)
+        entry = (arena, compiled_sigma, compiled_phi)
+        _WORKER_ARENAS[name] = entry
+        while len(_WORKER_ARENAS) > 2:
+            _, (old, _, _) = _WORKER_ARENAS.popitem(last=False)
+            old.close()
+    else:
+        _WORKER_ARENAS.move_to_end(name)
+    return entry
+
+
+def _worker_cancel(name: str) -> CancelFlag:
+    flag = _WORKER_CANCELS.get(name)
+    if flag is None:
+        flag = CancelFlag.attach(name)
+        _WORKER_CANCELS[name] = flag
+        while len(_WORKER_CANCELS) > 2:
+            _, old = _WORKER_CANCELS.popitem(last=False)
+            old.close()
+    else:
+        _WORKER_CANCELS.move_to_end(name)
+    return flag
+
+
+def _worker_space(node_count: int, labels: tuple[str, ...]) -> CodeSpace:
+    key = (node_count, labels)
+    space = _WORKER_SPACES.get(key)
+    if space is None:
+        space = CodeSpace(node_count, labels)
+        _WORKER_SPACES[key] = space
+        while len(_WORKER_SPACES) > 8:
+            _WORKER_SPACES.popitem(last=False)
+    else:
+        _WORKER_SPACES.move_to_end(key)
+    return space
 
 
 def _chase_task(
@@ -118,10 +198,19 @@ def _chase_task(
     phi: PathConstraint,
     max_steps: int,
     deadline: float | None,
+    cancel_name: str | None = None,
 ) -> tuple[ImplicationResult, float]:
     began = time.perf_counter()
+    should_stop = None
+    if cancel_name is not None:
+        flag = _worker_cancel(cancel_name)
+        should_stop = lambda: flag.is_set  # noqa: E731
     result = chase_implication(
-        sigma, phi, max_steps=max_steps, deadline=deadline
+        sigma,
+        phi,
+        max_steps=max_steps,
+        deadline=deadline,
+        should_stop=should_stop,
     )
     return result, time.perf_counter() - began
 
@@ -139,6 +228,41 @@ def _shard_task(
     return scan_codes(space, sigma, phi, start, stop, deadline=deadline)
 
 
+def _shard_task_shm(
+    arena_name: str,
+    level_index: int,
+    shard_index: int,
+    deadline: float | None,
+    cancel_name: str | None,
+) -> ShardReport:
+    """One pooled scan shard, payload read from the shared arena.
+
+    The pickled task arguments are constant-size whatever the shard
+    count or constraint set; everything else — alphabet, compiled
+    constraint programs, the (start, stop) code range — comes out of
+    shared memory.  Also runs in-process when the supervisor degrades
+    (the parent attaches to its own segment).
+    """
+    arena, compiled_sigma, compiled_phi = _worker_arena(arena_name)
+    node_count, start, stop = arena.range_for(level_index, shard_index)
+    should_stop = None
+    if cancel_name is not None:
+        flag = _worker_cancel(cancel_name)
+        should_stop = lambda: flag.is_set  # noqa: E731
+    space = _worker_space(node_count, arena.labels)
+    return scan_codes(
+        space,
+        (),
+        None,
+        start,
+        stop,
+        deadline=deadline,
+        should_stop=should_stop,
+        compiled_sigma=compiled_sigma,
+        compiled_phi=compiled_phi,
+    )
+
+
 def _typed_shard_task(
     schema: Schema,
     sigma: tuple[PathConstraint, ...],
@@ -149,7 +273,13 @@ def _typed_shard_task(
     shard_index: int,
     shard_count: int,
     deadline: float | None,
+    compiled: bool = False,
+    cancel_name: str | None = None,
 ) -> TypedShardReport:
+    should_stop = None
+    if cancel_name is not None:
+        flag = _worker_cancel(cancel_name)
+        should_stop = lambda: flag.is_set  # noqa: E731
     return scan_typed_instances(
         schema,
         sigma,
@@ -160,6 +290,8 @@ def _typed_shard_task(
         shard_index=shard_index,
         shard_count=shard_count,
         deadline=deadline,
+        compiled=compiled,
+        should_stop=should_stop,
     )
 
 
@@ -174,6 +306,69 @@ def _plan_shards(total: int, shard_count: int) -> list[tuple[int, int]]:
         ranges.append((start, stop))
         start = stop
     return ranges
+
+
+# ---------------------------------------------------------------------------
+# Cost-model dispatch.
+# ---------------------------------------------------------------------------
+
+
+def _decide_execution(
+    kind: str, work_units: int, jobs: int, execution: str
+) -> ExecutionDecision:
+    """Resolve requested ``jobs``/``execution`` to an execution plan.
+
+    ``execution`` is ``"auto"`` (let the cost model choose) or one of
+    the :class:`ExecMode` values to force a mode — forcing ``"pool"``
+    is how the fault-injection suite keeps exercising real worker
+    processes on workloads the cost model would run inline.
+    """
+    if execution == "auto":
+        forced = None
+    else:
+        try:
+            forced = ExecMode(execution)
+        except ValueError:
+            raise ValueError(
+                f"execution must be 'auto', 'inline', 'sharded' or "
+                f"'pool', got {execution!r}"
+            ) from None
+    stats = warm_pool_stats()
+    warm = bool(
+        stats["alive"] and not stats["leased"] and stats["jobs"] >= 2
+    )
+    return choose_execution(
+        kind=kind,
+        work_units=work_units,
+        jobs=jobs,
+        warm_available=warm,
+        forced=forced,
+    )
+
+
+def _build_arena(
+    sigma: tuple[PathConstraint, ...],
+    phi: PathConstraint,
+    labels: tuple[str, ...],
+    max_nodes: int,
+    jobs: int,
+) -> ScanArena:
+    """Pack constraints and every level's shard plan into shared memory."""
+    compiled_sigma = compile_constraints(list(sigma), labels)
+    (compiled_phi,) = compile_constraints([phi], labels)
+    levels = []
+    for node_count in range(1, max_nodes + 1):
+        total = CodeSpace.size(node_count, len(labels))
+        shard_count = (
+            1 if total <= MIN_SHARDED_SPACE else jobs * SHARD_FACTOR
+        )
+        levels.append((node_count, _plan_shards(total, shard_count)))
+    return ScanArena.create(
+        labels,
+        [constraint_program(c) for c in compiled_sigma],
+        constraint_program(compiled_phi),
+        levels,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -266,44 +461,29 @@ def _sequential_countermodel(
     return out
 
 
-class _RaceInterrupted(Exception):
-    """Raised inside the shard-combine loop when the chase wins."""
-
-
-def _drain_levels(
+def _sharded_inline_countermodel(
     supervisor: WorkerSupervisor,
     sigma: tuple[PathConstraint, ...],
     phi: PathConstraint,
     labels: tuple[str, ...],
     max_nodes: int,
-    jobs: int,
     budget: Budget,
-    chase_task: SupervisedTask | None,
-    chase_state: _ChaseState,
 ) -> CountermodelOutcome:
-    """Run the sharded level-by-level scan, racing ``chase_task``.
+    """In-process sharded scan: chunked ranges, no pool, no pickling.
 
-    Raises :class:`_RaceInterrupted` as soon as the chase returns a
-    definite answer (after cancelling pending shards) — the caller
-    already holds the chase result in ``chase_state``.  All waiting
-    goes through the supervisor, so worker crashes, respawns and
-    degraded re-runs are invisible here: a task is either settled
-    with a report, settled failed (a typed error), or cancelled.
+    The middle rung of the cost model — the scan is too large to run
+    as one opaque call (budget checks and calibration samples happen
+    per chunk, and each chunk is a supervised task so fault injection
+    still applies) but too small to amortise a process pool.
     """
     began = time.perf_counter()
     out = CountermodelOutcome(levels=tuple(range(1, max_nodes + 1)))
-
-    watching_chase = chase_task is not None
     for node_count in range(1, max_nodes + 1):
-        space = CodeSpace(node_count, labels)
-        shard_count = (
-            1
-            if space.total <= MIN_SHARDED_SPACE
-            else jobs * SHARD_FACTOR
-        )
-        ranges = _plan_shards(space.total, shard_count)
-        tasks = [
-            supervisor.submit(
+        total = CodeSpace.size(node_count, len(labels))
+        chunk_count = max(1, -(-total // INLINE_MAX_CODES))
+        stop_level = False
+        for start, stop in _plan_shards(total, chunk_count):
+            task = supervisor.submit(
                 _shard_task,
                 node_count,
                 labels,
@@ -314,7 +494,83 @@ def _drain_levels(
                 budget.deadline,
                 engine=f"countermodel[n={node_count} {start}:{stop}]",
             )
-            for start, stop in ranges
+            if task.failed:
+                out.exhausted = False
+                out.fault_stop = True
+                stop_level = True
+                break
+            report = task.result()
+            out.examined += report.examined
+            out.canonical += report.canonical
+            if report.examined and report.elapsed > 0:
+                observe_untyped_scan(report.examined, report.elapsed)
+            if report.hit is not None:
+                space = CodeSpace(node_count, labels)
+                out.graph = space.to_graph(report.hit)
+                stop_level = True
+                break
+            if not report.exhausted:
+                out.exhausted = False
+                stop_level = True
+                break
+        if stop_level:
+            break
+    out.elapsed = time.perf_counter() - began
+    return out
+
+
+class _RaceInterrupted(Exception):
+    """Raised inside the shard-combine loop when the chase wins."""
+
+
+def _drain_levels(
+    supervisor: WorkerSupervisor,
+    labels: tuple[str, ...],
+    max_nodes: int,
+    budget: Budget,
+    chase_task: SupervisedTask | None,
+    chase_state: _ChaseState,
+    arena: ScanArena,
+    cancel: CancelFlag,
+) -> CountermodelOutcome:
+    """Run the pooled level-by-level scan off ``arena``, racing
+    ``chase_task``.
+
+    Raises :class:`_RaceInterrupted` as soon as the chase returns a
+    definite answer (after cancelling pending shards) — the caller
+    already holds the chase result in ``chase_state``.  All waiting
+    goes through the supervisor, so worker crashes, respawns and
+    degraded re-runs are invisible here: a task is either settled
+    with a report, settled failed (a typed error), or cancelled.  On
+    every early exit the shared cancel flag is raised first, so
+    shards already running on (possibly warm) workers wind down
+    instead of scanning to their range end.
+    """
+    began = time.perf_counter()
+    out = CountermodelOutcome(levels=tuple(range(1, max_nodes + 1)))
+
+    def stop_pending(tasks: list[SupervisedTask]) -> None:
+        cancel.set()
+        for task in tasks:
+            supervisor.cancel(task)
+
+    watching_chase = chase_task is not None
+    for level_index in range(arena.level_count):
+        node_count, shard_count = arena.level(level_index)
+        tasks = [
+            supervisor.submit(
+                _shard_task_shm,
+                arena.name,
+                level_index,
+                shard_index,
+                budget.deadline,
+                cancel.name,
+                engine=(
+                    f"countermodel[n={node_count} "
+                    f"shm {shard_index}/{shard_count}]"
+                ),
+            )
+            for shard_index in range(shard_count)
         ]
         # Resolve shards in range order: the winner is the hit of the
         # lowest range whose predecessors exhausted hitless — the
@@ -325,8 +581,7 @@ def _drain_levels(
                 watching_chase = False
                 chase_state.settle_task(chase_task)
                 if chase_state.definite:
-                    for task in tasks[resolved:]:
-                        supervisor.cancel(task)
+                    stop_pending(tasks[resolved:])
                     out.exhausted = False
                     out.elapsed = time.perf_counter() - began
                     raise _RaceInterrupted
@@ -336,8 +591,7 @@ def _drain_levels(
                     # The range is unexplored and unexplorable: same
                     # honest-UNKNOWN semantics as budget expiry, with
                     # the fault recorded by the supervisor.
-                    for later in tasks[resolved + 1 :]:
-                        supervisor.cancel(later)
+                    stop_pending(tasks[resolved + 1 :])
                     out.exhausted = False
                     out.fault_stop = True
                     out.elapsed = time.perf_counter() - began
@@ -346,16 +600,15 @@ def _drain_levels(
                 out.examined += report.examined
                 out.canonical += report.canonical
                 if report.hit is not None:
-                    for later in tasks[resolved + 1 :]:
-                        supervisor.cancel(later)
+                    stop_pending(tasks[resolved + 1 :])
+                    space = CodeSpace(node_count, labels)
                     out.graph = space.to_graph(report.hit)
                     out.elapsed = time.perf_counter() - began
                     return out
                 if not report.exhausted:
                     # Budget expired inside this range: everything
                     # beyond it is unexplored.
-                    for later in tasks[resolved + 1 :]:
-                        supervisor.cancel(later)
+                    stop_pending(tasks[resolved + 1 :])
                     out.exhausted = False
                     out.elapsed = time.perf_counter() - began
                     return out
@@ -381,44 +634,80 @@ def parallel_countermodel_search(
     phi: PathConstraint,
     labels: Sequence[str] | None = None,
     max_nodes: int = 3,
-    jobs: int = 1,
+    jobs: int | str = 1,
     budget: Budget | None = None,
     fault_plan: FaultPlan | None = None,
     max_respawns: int = 2,
+    execution: str = "auto",
 ) -> CountermodelOutcome:
-    """Canonical counter-model search, sharded across ``jobs`` workers.
+    """Canonical counter-model search under cost-model dispatch.
 
+    ``jobs`` is a cap (or ``"auto"`` for the CPU count); the cost
+    model picks inline, in-process sharded, or pooled execution from
+    the closed-form scan size — ``execution`` forces a mode instead.
     Deterministic: returns the same counter-model as the sequential
-    canonical scan for any ``jobs`` (budget expiry and unrecoverable
-    worker faults aside).  With ``jobs <= 1`` no pool is created at
-    all.
+    canonical scan for any ``jobs`` and mode (budget expiry and
+    unrecoverable worker faults aside).
     """
+    validate_jobs(jobs)
+    validate_max_respawns(max_respawns)
     sigma = tuple(sigma)
     budget = budget or Budget()
     if labels is None:
         labels = infer_alphabet(sigma, phi)
     labels = tuple(labels)
-    with WorkerSupervisor(
-        jobs=jobs,
-        budget=budget,
-        plan=fault_plan,
-        max_respawns=max_respawns,
-    ) as supervisor:
-        if supervisor.inline:
-            return _sequential_countermodel(
-                supervisor, sigma, phi, labels, max_nodes, budget
-            )
-        return _drain_levels(
-            supervisor,
-            sigma,
-            phi,
-            labels,
-            max_nodes,
-            jobs,
-            budget,
-            chase_task=None,
-            chase_state=_ChaseState(),
-        )
+    requested = normalize_jobs(jobs)
+    decision = _decide_execution(
+        "untyped",
+        estimate_untyped_codes(len(labels), max_nodes),
+        requested,
+        execution,
+    )
+    pool_mode = decision.mode is ExecMode.POOL
+    arena: ScanArena | None = None
+    cancel: CancelFlag | None = None
+    try:
+        with WorkerSupervisor(
+            jobs=decision.jobs if pool_mode else 1,
+            budget=budget,
+            plan=fault_plan,
+            max_respawns=max_respawns,
+        ) as supervisor:
+            if pool_mode:
+                arena = _build_arena(
+                    sigma, phi, labels, max_nodes, decision.jobs
+                )
+                cancel = CancelFlag.create()
+                try:
+                    out = _drain_levels(
+                        supervisor,
+                        labels,
+                        max_nodes,
+                        budget,
+                        None,
+                        _ChaseState(),
+                        arena,
+                        cancel,
+                    )
+                finally:
+                    cancel.set()
+            elif decision.mode is ExecMode.SHARDED:
+                out = _sharded_inline_countermodel(
+                    supervisor, sigma, phi, labels, max_nodes, budget
+                )
+            else:
+                out = _sequential_countermodel(
+                    supervisor, sigma, phi, labels, max_nodes, budget
+                )
+                if out.examined and out.elapsed > 0:
+                    observe_untyped_scan(out.examined, out.elapsed)
+    finally:
+        if cancel is not None:
+            cancel.release()
+        if arena is not None:
+            arena.release()
+    out.decision = decision
+    return out
 
 
 def parallel_find_countermodel(
@@ -426,13 +715,20 @@ def parallel_find_countermodel(
     phi: PathConstraint,
     labels: Sequence[str] | None = None,
     max_nodes: int = 3,
-    jobs: int = 1,
+    jobs: int | str = 1,
     budget: Budget | None = None,
+    execution: str = "auto",
 ) -> Graph | None:
-    """Like :func:`repro.reasoning.models.find_countermodel`, sharded
-    across ``jobs`` worker processes."""
+    """Like :func:`repro.reasoning.models.find_countermodel`, under
+    cost-model dispatch with ``jobs`` as the parallelism cap."""
     return parallel_countermodel_search(
-        sigma, phi, labels=labels, max_nodes=max_nodes, jobs=jobs, budget=budget
+        sigma,
+        phi,
+        labels=labels,
+        max_nodes=max_nodes,
+        jobs=jobs,
+        budget=budget,
+        execution=execution,
     ).graph
 
 
@@ -448,6 +744,7 @@ def _typed_parallel(
     max_set_size: int,
     chase_task: SupervisedTask | None,
     chase_state: _ChaseState,
+    cancel: CancelFlag | None = None,
 ) -> CountermodelOutcome:
     """Stride-sharded ``U_f(Delta)`` scan racing the chase.
 
@@ -458,6 +755,7 @@ def _typed_parallel(
     """
     began = time.perf_counter()
     out = CountermodelOutcome()
+    cancel_name = cancel.name if cancel is not None else None
     tasks = [
         supervisor.submit(
             _typed_shard_task,
@@ -470,6 +768,8 @@ def _typed_parallel(
             shard_index,
             jobs,
             budget.deadline,
+            True,
+            cancel_name,
             engine=f"typed-countermodel[{shard_index}/{jobs}]",
         )
         for shard_index in range(jobs)
@@ -488,6 +788,8 @@ def _typed_parallel(
                 chase_state.result is not None
                 and chase_state.result.answer is Trilean.TRUE
             ):
+                if cancel is not None:
+                    cancel.set()
                 for task in pending:
                     supervisor.cancel(task)
                 out.exhausted = False
@@ -541,11 +843,15 @@ def _sequential_typed(
         0,
         1,
         budget.deadline,
+        True,
+        None,
         engine="typed-countermodel",
     )
     if task.failed:
         return CountermodelOutcome(exhausted=False, fault_stop=True)
     report = task.result()
+    if report.examined and report.elapsed > 0:
+        observe_typed_scan(report.examined, report.elapsed)
     return CountermodelOutcome(
         graph=report.graph,
         certificate=report.instance,
@@ -557,7 +863,7 @@ def _sequential_typed(
 
 def run_portfolio(
     problem,
-    jobs: int = 1,
+    jobs: int | str = 1,
     budget: Budget | None = None,
     chase_steps: int = DEFAULT_CHASE_STEPS,
     countermodel_nodes: int = 3,
@@ -566,24 +872,36 @@ def run_portfolio(
     typed_max_set_size: int = 2,
     max_respawns: int = 2,
     fault_plan: FaultPlan | None = None,
+    execution: str = "auto",
 ) -> ImplicationResult:
     """Semi-decide an undecidable-cell implication with a portfolio.
 
     ``problem`` is an :class:`repro.reasoning.dispatcher
     .ImplicationProblem` in an undecidable (fragment, context) cell.
-    With ``jobs <= 1`` the engines run sequentially in-process (chase
-    first, then counter-model search — the seed pipeline); with
-    ``jobs > 1`` they race across a supervised process pool with
-    first-winner cancellation.  Worker crashes are respawned at most
-    ``max_respawns`` times before degrading to in-process execution;
-    ``fault_plan`` (default: the ``$REPRO_INJECT`` environment spec)
-    enables deterministic fault injection.  Every returned result
-    carries per-engine :class:`EngineStats` and a
-    :class:`~repro.reasoning.result.FaultReport`.
+    ``jobs`` caps the parallelism (``"auto"`` means the CPU count); a
+    cost model prices the scan from the closed-form ``CodeSpace`` size
+    (or the typed instance limit) against measured scan rates and pool
+    overheads, then runs the engines sequentially in-process, as an
+    in-process sharded scan, or as a race across a supervised process
+    pool with first-winner cancellation — whichever is estimated
+    fastest, so ``jobs > 1`` never loses to ``jobs = 1`` by paying
+    pool overhead a small scan cannot amortise.  ``execution`` forces
+    a mode (``"inline"``/``"sharded"``/``"pool"``) instead.  Pool
+    shards read their payload from a shared-memory arena; worker
+    crashes are respawned at most ``max_respawns`` times before
+    degrading to in-process execution; ``fault_plan`` (default: the
+    ``$REPRO_INJECT`` environment spec) enables deterministic fault
+    injection.  Every returned result carries per-engine
+    :class:`EngineStats`, a
+    :class:`~repro.reasoning.result.FaultReport`, and the
+    :class:`~repro.reasoning.costmodel.ExecutionDecision` on
+    ``result.execution``.
     """
     # Imported here: dispatcher imports this module's Budget/run_portfolio.
     from repro.reasoning.dispatcher import Context, classify
 
+    validate_jobs(jobs)
+    validate_max_respawns(max_respawns)
     budget = budget or Budget()
     plan = fault_plan if fault_plan is not None else plan_from_env()
     sigma = tuple(problem.sigma)
@@ -591,133 +909,149 @@ def run_portfolio(
     context = problem.context
     problem_class = classify(sigma, phi)
     labels = infer_alphabet(sigma, phi)
+    untyped = context is Context.SEMISTRUCTURED
+    requested = normalize_jobs(jobs)
+    if untyped:
+        decision = _decide_execution(
+            "untyped",
+            estimate_untyped_codes(len(labels), countermodel_nodes),
+            requested,
+            execution,
+        )
+    else:
+        decision = _decide_execution(
+            "typed", typed_search_limit, requested, execution
+        )
     notes = [
         f"{problem_class.value} over {context.value}: undecidable "
         "problem class; semi-decision with explicit budgets",
-        f"portfolio: jobs={jobs}, "
+        f"portfolio: jobs={requested}, "
         + (
             f"deadline in {budget.remaining():.3f}s"
             if budget.deadline is not None
             else "no deadline"
         ),
+        f"execution: {decision.describe()}",
     ]
     if plan.active:
         notes.append(f"fault injection active: {plan.describe()}")
-    untyped = context is Context.SEMISTRUCTURED
 
-    chase_state = _ChaseState()
-    with WorkerSupervisor(
-        jobs=jobs,
-        budget=budget,
-        plan=plan,
-        max_respawns=max_respawns,
-    ) as supervisor:
-        chase_task = supervisor.submit(
-            _chase_task,
-            sigma,
-            phi,
-            chase_steps,
-            budget.deadline,
-            engine="chase",
-        )
-        if supervisor.inline:
-            # Sequential pipeline: the chase already ran synchronously.
-            chase_state.settle_task(chase_task)
-            if untyped and chase_state.definite:
-                return _finish_chase_win(
-                    chase_state, notes, untyped=True, supervisor=supervisor
-                )
-            if (
-                not untyped
-                and chase_state.result is not None
-                and chase_state.result.answer is Trilean.TRUE
-            ):
-                return _finish_chase_win(
-                    chase_state, notes, untyped=False, supervisor=supervisor
-                )
+    pool_mode = decision.mode is ExecMode.POOL
+    arena: ScanArena | None = None
+    cancel: CancelFlag | None = None
+    try:
+        if pool_mode:
+            cancel = CancelFlag.create()
             if untyped:
-                search = _sequential_countermodel(
-                    supervisor, sigma, phi, labels, countermodel_nodes, budget
+                arena = _build_arena(
+                    sigma, phi, labels, countermodel_nodes, decision.jobs
                 )
-            else:
-                search = _sequential_typed(
+        with WorkerSupervisor(
+            jobs=decision.jobs if pool_mode else 1,
+            budget=budget,
+            plan=plan,
+            max_respawns=max_respawns,
+        ) as supervisor:
+            try:
+                result = _portfolio_race(
+                    problem,
                     supervisor,
-                    problem.schema,
-                    sigma,
-                    phi,
-                    budget,
-                    typed_search_limit,
-                    typed_max_oids,
-                    typed_max_set_size,
-                )
-            return _combine(
-                chase_state,
-                search,
-                notes,
-                untyped,
-                countermodel_nodes,
-                jobs,
-                supervisor,
-            )
-
-        try:
-            if untyped:
-                search = _drain_levels(
-                    supervisor,
+                    decision,
                     sigma,
                     phi,
                     labels,
+                    untyped,
+                    budget,
+                    chase_steps,
                     countermodel_nodes,
-                    jobs,
-                    budget,
-                    chase_task,
-                    chase_state,
-                )
-            else:
-                search = _typed_parallel(
-                    supervisor,
-                    problem.schema,
-                    sigma,
-                    phi,
-                    jobs,
-                    budget,
                     typed_search_limit,
                     typed_max_oids,
                     typed_max_set_size,
-                    chase_task,
-                    chase_state,
+                    notes,
+                    arena,
+                    cancel,
                 )
-        except _RaceInterrupted:
+            finally:
+                # Decided (or aborted): stragglers on a warm pool must
+                # wind down before the next solve leases it.
+                if cancel is not None:
+                    cancel.set()
+    finally:
+        if cancel is not None:
+            cancel.release()
+        if arena is not None:
+            arena.release()
+    result.execution = decision
+    return result
+
+
+def _portfolio_race(
+    problem,
+    supervisor: WorkerSupervisor,
+    decision: ExecutionDecision,
+    sigma: tuple[PathConstraint, ...],
+    phi: PathConstraint,
+    labels: tuple[str, ...],
+    untyped: bool,
+    budget: Budget,
+    chase_steps: int,
+    countermodel_nodes: int,
+    typed_search_limit: int,
+    typed_max_oids: int,
+    typed_max_set_size: int,
+    notes: list[str],
+    arena: ScanArena | None,
+    cancel: CancelFlag | None,
+) -> ImplicationResult:
+    """The race itself, inside an already-configured supervisor."""
+    jobs = decision.jobs
+    chase_state = _ChaseState()
+    chase_task = supervisor.submit(
+        _chase_task,
+        sigma,
+        phi,
+        chase_steps,
+        budget.deadline,
+        cancel.name if cancel is not None else None,
+        engine="chase",
+    )
+    if supervisor.inline:
+        # Sequential pipeline: the chase already ran synchronously.
+        chase_state.settle_task(chase_task)
+        if untyped and chase_state.definite:
             return _finish_chase_win(
-                chase_state, notes, untyped, supervisor
+                chase_state, notes, untyped=True, supervisor=supervisor
             )
-        if search.graph is not None:
-            # Refutation certificate in hand; the chase can stop.
-            supervisor.cancel(chase_task)
-        elif chase_state.result is None and not chase_state.failed:
-            # Search exhausted/budgeted/faulted without the chase
-            # finishing: its verdict is the only hope left, so wait.
-            supervisor.wait_any({chase_task})
-            if chase_task.settled and not chase_task.cancelled:
-                chase_state.settle_task(chase_task)
-                if untyped and chase_state.definite:
-                    return _finish_chase_win(
-                        chase_state,
-                        notes,
-                        untyped=True,
-                        supervisor=supervisor,
-                    )
-                if (
-                    not untyped
-                    and chase_state.result is not None
-                    and chase_state.result.answer is Trilean.TRUE
-                ):
-                    return _finish_chase_win(
-                        chase_state,
-                        notes,
-                        untyped=False,
-                        supervisor=supervisor,
-                    )
+        if (
+            not untyped
+            and chase_state.result is not None
+            and chase_state.result.answer is Trilean.TRUE
+        ):
+            return _finish_chase_win(
+                chase_state, notes, untyped=False, supervisor=supervisor
+            )
+        if untyped:
+            if decision.mode is ExecMode.SHARDED:
+                search = _sharded_inline_countermodel(
+                    supervisor, sigma, phi, labels, countermodel_nodes, budget
+                )
+            else:
+                search = _sequential_countermodel(
+                    supervisor, sigma, phi, labels, countermodel_nodes, budget
+                )
+                if search.examined and search.elapsed > 0:
+                    observe_untyped_scan(search.examined, search.elapsed)
+        else:
+            search = _sequential_typed(
+                supervisor,
+                problem.schema,
+                sigma,
+                phi,
+                budget,
+                typed_search_limit,
+                typed_max_oids,
+                typed_max_set_size,
+            )
         return _combine(
             chase_state,
             search,
@@ -727,6 +1061,76 @@ def run_portfolio(
             jobs,
             supervisor,
         )
+
+    try:
+        if untyped:
+            search = _drain_levels(
+                supervisor,
+                labels,
+                countermodel_nodes,
+                budget,
+                chase_task,
+                chase_state,
+                arena,
+                cancel,
+            )
+        else:
+            search = _typed_parallel(
+                supervisor,
+                problem.schema,
+                sigma,
+                phi,
+                jobs,
+                budget,
+                typed_search_limit,
+                typed_max_oids,
+                typed_max_set_size,
+                chase_task,
+                chase_state,
+                cancel,
+            )
+    except _RaceInterrupted:
+        return _finish_chase_win(
+            chase_state, notes, untyped, supervisor
+        )
+    if search.graph is not None:
+        # Refutation certificate in hand; the chase can stop.
+        if cancel is not None:
+            cancel.set()
+        supervisor.cancel(chase_task)
+    elif chase_state.result is None and not chase_state.failed:
+        # Search exhausted/budgeted/faulted without the chase
+        # finishing: its verdict is the only hope left, so wait.
+        supervisor.wait_any({chase_task})
+        if chase_task.settled and not chase_task.cancelled:
+            chase_state.settle_task(chase_task)
+            if untyped and chase_state.definite:
+                return _finish_chase_win(
+                    chase_state,
+                    notes,
+                    untyped=True,
+                    supervisor=supervisor,
+                )
+            if (
+                not untyped
+                and chase_state.result is not None
+                and chase_state.result.answer is Trilean.TRUE
+            ):
+                return _finish_chase_win(
+                    chase_state,
+                    notes,
+                    untyped=False,
+                    supervisor=supervisor,
+                )
+    return _combine(
+        chase_state,
+        search,
+        notes,
+        untyped,
+        countermodel_nodes,
+        jobs,
+        supervisor,
+    )
 
 
 def _search_stats(

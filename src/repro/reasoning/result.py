@@ -142,6 +142,10 @@ class ImplicationResult:
     notes: tuple[str, ...] = field(default_factory=tuple)
     stats: tuple[EngineStats, ...] = field(default_factory=tuple)
     faults: FaultReport = field(default_factory=FaultReport)
+    #: The cost-model decision the portfolio ran under
+    #: (:class:`repro.reasoning.costmodel.ExecutionDecision`); None for
+    #: decidable cells, which never touch the portfolio.
+    execution: Any = None
 
     @property
     def implied(self) -> bool:
@@ -163,6 +167,8 @@ class ImplicationResult:
             parts.append(
                 f"countermodel={self.countermodel.node_count()} nodes"
             )
+        if self.execution is not None:
+            parts.append(f"execution[{self.execution.describe()}]")
         for engine in self.stats:
             parts.append(f"engine[{engine.describe()}]")
         if not self.faults.clean:

@@ -45,6 +45,7 @@ counter), so injected faults are reproducible run-to-run.
 
 from __future__ import annotations
 
+import atexit
 import time
 from collections.abc import Iterable
 from concurrent.futures import (
@@ -98,6 +99,118 @@ class Budget:
         if self.deadline is None:
             return None
         return max(0.0, self.deadline - time.monotonic())
+
+
+# ---------------------------------------------------------------------------
+# The warm persistent pool.
+# ---------------------------------------------------------------------------
+#
+# Cold ProcessPoolExecutor spawn costs ~0.05s — more than many whole
+# scans.  One process-wide pool therefore survives across solve()
+# calls: a supervisor *leases* it for the duration of its run and
+# returns it on a clean exit instead of terminating the workers.  A
+# pool that broke (worker crash), a supervisor that degraded, or an
+# exceptional exit never returns the pool — broken or straggler-laden
+# pools are abandoned and reaped exactly as before, so the PR 5
+# fault-tolerance guarantees are unchanged.  Warm workers also keep
+# their per-process caches (permutation tables, arena attachments)
+# across solves.
+
+
+@dataclass
+class _WarmPoolState:
+    pool: ProcessPoolExecutor
+    jobs: int
+    leased: bool = False
+
+
+_WARM: _WarmPoolState | None = None
+_WARM_SPAWNS = 0
+_WARM_REUSES = 0
+
+
+def _warm_acquire(jobs: int) -> tuple[ProcessPoolExecutor, bool]:
+    """Lease the warm pool (or spawn a tracked replacement).
+
+    Returns ``(pool, tracked)``; a ``tracked`` pool should be returned
+    via :func:`_warm_return` on clean shutdown.  An untracked pool
+    (the warm pool was already leased by another supervisor) is the
+    caller's to tear down.
+    """
+    global _WARM, _WARM_SPAWNS, _WARM_REUSES
+    state = _WARM
+    if state is not None and not state.leased:
+        broken = getattr(state.pool, "_broken", False)
+        if not broken and state.jobs >= jobs:
+            state.leased = True
+            _WARM_REUSES += 1
+            return state.pool, True
+        # Too small or broken: retire it and spawn fresh below.
+        _WARM = None
+        _abandon_pool(state.pool)
+        state = None
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    if state is None and (_WARM is None or not _WARM.leased):
+        _WARM = _WarmPoolState(pool=pool, jobs=jobs, leased=True)
+        _WARM_SPAWNS += 1
+        return pool, True
+    return pool, False  # pragma: no cover - concurrent lease
+
+
+def _warm_return(pool: ProcessPoolExecutor, healthy: bool) -> None:
+    """End a lease: keep a healthy pool warm, abandon anything else."""
+    global _WARM
+    state = _WARM
+    if state is not None and state.pool is pool:
+        if healthy and not getattr(pool, "_broken", False):
+            state.leased = False
+            return
+        _WARM = None
+    _abandon_pool(pool)
+
+
+def _warm_discard(pool: ProcessPoolExecutor) -> None:
+    """Forget a pool that broke while leased (caller abandons it)."""
+    global _WARM
+    if _WARM is not None and _WARM.pool is pool:
+        _WARM = None
+
+
+def retire_warm_pool() -> None:
+    """Shut the warm pool down and reap its workers (never raises).
+
+    Tests assert the no-orphan property through this; it is also the
+    interpreter-exit hook.  Safe to call at any time — the next pooled
+    solve simply cold-spawns again.
+    """
+    global _WARM
+    state, _WARM = _WARM, None
+    if state is not None:
+        _abandon_pool(state.pool)
+
+
+atexit.register(retire_warm_pool)
+
+
+def warm_pool_pids() -> tuple[int, ...]:
+    """PIDs of the current warm pool's workers (empty when cold)."""
+    state = _WARM
+    if state is None:
+        return ()
+    return tuple(sorted(getattr(state.pool, "_processes", None) or {}))
+
+
+def warm_pool_stats() -> dict:
+    """Warm-pool observability: liveness, lease state, reuse counters."""
+    state = _WARM
+    return {
+        "alive": state is not None,
+        "leased": bool(state is not None and state.leased),
+        "jobs": state.jobs if state is not None else 0,
+        "pids": list(warm_pool_pids()),
+        "spawns": _WARM_SPAWNS,
+        "reuses": _WARM_REUSES,
+    }
 
 
 @dataclass(eq=False)
@@ -171,6 +284,7 @@ class WorkerSupervisor:
         max_task_retries: int = 2,
         backoff_base: float = 0.05,
         backoff_cap: float = 1.0,
+        keep_warm: bool = True,
     ) -> None:
         self.jobs = max(1, jobs)
         self.inline = jobs <= 1
@@ -180,7 +294,11 @@ class WorkerSupervisor:
         self.max_task_retries = max_task_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        #: lease the process-wide warm pool (and return it on a clean
+        #: exit) instead of cold-spawning and terminating per run.
+        self.keep_warm = keep_warm
         self._pool: ProcessPoolExecutor | None = None
+        self._pool_tracked = False
         self._pool_gen = 0
         self._respawns = 0
         self._degraded = False
@@ -196,13 +314,34 @@ class WorkerSupervisor:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.shutdown()
+        # An exceptional exit (KeyboardInterrupt mid-race) may leave
+        # genuinely stuck tasks on the pool; never hand those to the
+        # next solve — abandon and reap, exactly the old behavior.
+        self.shutdown(abandon=exc_info and exc_info[0] is not None)
 
-    def shutdown(self) -> None:
-        """Tear the pool down unconditionally; never raises."""
+    def shutdown(self, abandon: bool = False) -> None:
+        """End this run's pool lease; never raises.
+
+        A healthy tracked warm-pool lease is returned with workers
+        alive (cancelled stragglers observe the cooperative cancel
+        flag and idle quickly); anything else — untracked, degraded,
+        or ``abandon=True`` — is torn down and reaped.
+        """
         pool, self._pool = self._pool, None
-        if pool is not None:
+        if pool is None:
+            return
+        if self._pool_tracked and not abandon and not self._degraded:
+            _warm_return(pool, healthy=True)
+        elif self._pool_tracked:
+            _warm_return(pool, healthy=False)
+        else:
             _abandon_pool(pool)
+
+    def worker_pids(self) -> tuple[int, ...]:
+        """PIDs of this run's current pool workers (empty inline)."""
+        if self._pool is None:
+            return ()
+        return tuple(sorted(getattr(self._pool, "_processes", None) or {}))
 
     # -- accounting ---------------------------------------------------
 
@@ -296,7 +435,11 @@ class WorkerSupervisor:
 
     def _pool_or_spawn(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            if self.keep_warm:
+                self._pool, self._pool_tracked = _warm_acquire(self.jobs)
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+                self._pool_tracked = False
         return self._pool
 
     def _submit_to_pool(self, task: SupervisedTask) -> None:
@@ -341,6 +484,8 @@ class WorkerSupervisor:
         )
         pool, self._pool = self._pool, None
         if pool is not None:
+            # A broken pool is never kept warm: forget it, then reap.
+            _warm_discard(pool)
             _abandon_pool(pool)
         self._pool_gen += 1
         lost = [t for t in self._tasks if not t.settled]

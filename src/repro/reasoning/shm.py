@@ -1,0 +1,343 @@
+"""Shared-memory shard transport for the pooled canonical scan.
+
+Above the cost-model threshold the portfolio stops pickling shard
+payloads per task.  The parent packs everything a shard needs — the
+label alphabet, the compiled constraint programs (label-index words,
+the input of the bitmask evaluator in :mod:`repro.reasoning.models`)
+and every level's canonical-code ranges — once into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment.  A pool
+task then pickles only ``(arena name, level index, shard index)``:
+constant-size arguments however many shards or constraints there are,
+and workers compile the constraint programs once per arena instead of
+once per task.
+
+Layout (little-endian)::
+
+    magic   4 bytes  b"RPA1"
+    width   u8       bytes per packed integer (8, or 16 for spaces
+                     whose code bounds exceed 64 bits)
+    pad     3 bytes
+    hlen    u32      JSON header length
+    header  hlen     JSON: labels, constraint programs, level table
+    pad              to a multiple of ``width``
+    ints    n*width  packed range bounds, (start, stop) per shard
+
+Range bounds are read through ``numpy.frombuffer`` views when numpy is
+importable and the bounds fit ``uint64``; otherwise (or for 16-byte
+bounds) through a plain ``memoryview`` + ``int.from_bytes`` fallback,
+so the transport has no hard numpy dependency.
+
+A second, one-byte segment class — :class:`CancelFlag` — gives the
+parent a cooperative cancellation signal: scans and the chase poll it
+between chunks, so a straggler task on a warm pool winds down quickly
+after the race is decided instead of occupying a worker into the next
+``solve()``.
+
+Cleanup contract (the part PR 5's fault-tolerance guarantees depend
+on): segments are *parent-owned*.  The parent unlinks in a
+``finally`` around the race — worker crash and pool respawn never
+orphan a segment because workers only ever attach.  A process-wide
+registry plus an ``atexit`` hook reclaims anything still owned at
+interpreter exit; see the resource-tracker note below for why attach
+never re-registers cleanup.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import json
+import os
+import struct
+from multiprocessing import shared_memory
+from typing import Any
+
+try:  # numpy views when available; pure-python fallback otherwise.
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is present in this env
+    _np = None
+
+__all__ = ["CancelFlag", "ScanArena", "active_owned_segments"]
+
+_MAGIC = b"RPA1"
+_SEGMENT_COUNTER = itertools.count()
+
+#: name -> SharedMemory for every segment this process created and
+#: still owns (not yet unlinked).  The atexit hook drains it.
+_OWNED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _new_name(prefix: str) -> str:
+    return f"{prefix}-{os.getpid()}-{next(_SEGMENT_COUNTER)}"
+
+
+def _own(shm: shared_memory.SharedMemory) -> None:
+    _OWNED[shm.name] = shm
+
+
+def _disown_and_unlink(name: str) -> None:
+    shm = _OWNED.pop(name, None)
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except Exception:  # pragma: no cover - defensive
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
+def active_owned_segments() -> tuple[str, ...]:
+    """Names of segments this process still owns (leak-test hook)."""
+    return tuple(sorted(_OWNED))
+
+
+@atexit.register
+def _cleanup_owned_segments() -> None:  # pragma: no cover - exit path
+    for name in list(_OWNED):
+        _disown_and_unlink(name)
+
+
+# Note on the resource tracker: ``SharedMemory(name=...)`` registers
+# unconditionally on attach, a known CPython sharp edge (3.13 grew
+# ``track=False`` for exactly this).  On POSIX the tracker process is
+# shared by the whole tree and its cache is a *set*, so attach-side
+# registrations race the parent's unlink in both directions: an
+# explicit attach-side ``unregister`` can double-unregister (KeyError
+# traceback in the tracker), while leaving the registration in place
+# lets a late-arriving attach-register resurrect an already-unlinked
+# name (ENOENT warning at interpreter exit).  The only
+# order-insensitive protocol on 3.11 is for attaches to never talk to
+# the tracker at all: ownership is strictly create-side, the parent's
+# single registration is cancelled by its single ``unlink()``, and the
+# tracker still reclaims the segment if the parent dies hard.
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without a resource-tracker registration."""
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class CancelFlag:
+    """A one-byte shared cancellation flag (parent-owned)."""
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, owner: bool
+    ) -> None:
+        self._shm = shm
+        self._owner = owner
+
+    @classmethod
+    def create(cls) -> "CancelFlag":
+        shm = shared_memory.SharedMemory(
+            name=_new_name("repro-cancel"), create=True, size=1
+        )
+        shm.buf[0] = 0
+        _own(shm)
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "CancelFlag":
+        return cls(_attach_untracked(name), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def set(self) -> None:
+        self._shm.buf[0] = 1
+
+    @property
+    def is_set(self) -> bool:
+        return self._shm.buf[0] != 0
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    def release(self) -> None:
+        """Owner-side teardown: close and unlink."""
+        if self._owner:
+            _disown_and_unlink(self._shm.name)
+        else:
+            self.close()
+
+
+class ScanArena:
+    """The packed scan payload, shared read-only with pool workers."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        owner: bool,
+        header: dict[str, Any],
+        width: int,
+        ints_offset: int,
+    ) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._header = header
+        self._width = width
+        self._ints_offset = ints_offset
+        count = int(header["int_count"])
+        if width == 8 and _np is not None:
+            self._ints = _np.frombuffer(
+                shm.buf, dtype="<u8", count=count, offset=ints_offset
+            )
+        else:
+            self._ints = None  # memoryview fallback via _read_int
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        labels: tuple[str, ...],
+        sigma_programs: list[dict],
+        phi_program: dict,
+        levels: list[tuple[int, list[tuple[int, int]]]],
+    ) -> "ScanArena":
+        """Pack and publish the payload (parent side).
+
+        ``levels`` is ``[(node_count, [(start, stop), ...]), ...]`` in
+        scan order; constraint programs are the JSON form of
+        :class:`~repro.reasoning.models._CompiledConstraint` (small
+        label-index words — the "constraint bitmasks" of the compiled
+        evaluator's input language).
+        """
+        bounds: list[int] = []
+        level_table = []
+        for node_count, ranges in levels:
+            level_table.append(
+                {
+                    "n": node_count,
+                    "first": len(bounds) // 2,
+                    "shards": len(ranges),
+                }
+            )
+            for start, stop in ranges:
+                bounds.extend((start, stop))
+        width = 8
+        if bounds and max(bounds) >= 1 << 64:
+            width = 16
+        header = {
+            "labels": list(labels),
+            "sigma": sigma_programs,
+            "phi": phi_program,
+            "levels": level_table,
+            "int_count": len(bounds),
+        }
+        header_blob = json.dumps(header, separators=(",", ":")).encode()
+        prefix_len = 4 + 1 + 3 + 4 + len(header_blob)
+        ints_offset = -(-prefix_len // width) * width  # round up
+        size = max(1, ints_offset + width * len(bounds))
+        shm = shared_memory.SharedMemory(
+            name=_new_name("repro-scan"), create=True, size=size
+        )
+        buf = shm.buf
+        buf[0:4] = _MAGIC
+        buf[4] = width
+        struct.pack_into("<I", buf, 8, len(header_blob))
+        buf[12 : 12 + len(header_blob)] = header_blob
+        for i, value in enumerate(bounds):
+            offset = ints_offset + i * width
+            buf[offset : offset + width] = value.to_bytes(width, "little")
+        _own(shm)
+        return cls(shm, True, header, width, ints_offset)
+
+    @classmethod
+    def attach(cls, name: str) -> "ScanArena":
+        """Open an existing arena (worker side)."""
+        shm = _attach_untracked(name)
+        buf = shm.buf
+        if bytes(buf[0:4]) != _MAGIC:
+            shm.close()
+            raise ValueError(f"segment {name!r} is not a scan arena")
+        width = buf[4]
+        (hlen,) = struct.unpack_from("<I", buf, 8)
+        header = json.loads(bytes(buf[12 : 12 + hlen]).decode())
+        ints_offset = -(-(12 + hlen) // width) * width
+        return cls(shm, False, header, width, ints_offset)
+
+    # -- payload ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(self._header["labels"])
+
+    @property
+    def sigma_programs(self) -> list[dict]:
+        return self._header["sigma"]
+
+    @property
+    def phi_program(self) -> dict:
+        return self._header["phi"]
+
+    @property
+    def level_count(self) -> int:
+        return len(self._header["levels"])
+
+    def level(self, level_index: int) -> tuple[int, int]:
+        """``(node_count, shard_count)`` for one enumeration level."""
+        entry = self._header["levels"][level_index]
+        return entry["n"], entry["shards"]
+
+    def _read_int(self, index: int) -> int:
+        if self._ints is not None:
+            return int(self._ints[index])
+        offset = self._ints_offset + index * self._width
+        return int.from_bytes(
+            self._shm.buf[offset : offset + self._width], "little"
+        )
+
+    def range_for(
+        self, level_index: int, shard_index: int
+    ) -> tuple[int, int, int]:
+        """``(node_count, start, stop)`` for one shard of one level."""
+        entry = self._header["levels"][level_index]
+        if not 0 <= shard_index < entry["shards"]:
+            raise IndexError(
+                f"shard {shard_index} out of range for level "
+                f"{level_index} ({entry['shards']} shards)"
+            )
+        base = (entry["first"] + shard_index) * 2
+        return entry["n"], self._read_int(base), self._read_int(base + 1)
+
+    # -- lifetime -----------------------------------------------------
+
+    def close(self) -> None:
+        self._ints = None
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    def release(self) -> None:
+        """Owner-side teardown: close the mapping and unlink the name.
+
+        Workers still holding an attachment keep their mapping (the
+        memory lives until the last close), but the name disappears —
+        the property the shared-memory leak tests assert.
+        """
+        self._ints = None
+        if self._owner:
+            _disown_and_unlink(self._shm.name)
+        else:
+            self.close()

@@ -1,0 +1,233 @@
+"""Cost-model dispatch: validation, sizing, and strategy choice.
+
+The regression under test: PR 2's pool portfolio could *lose* to the
+sequential pipeline because ``jobs`` was treated as a command.  The
+cost model prices every scan from the closed-form ``2^(L*n^2)`` space
+size and only chooses the pool when the parallel gain clears a margin
+over the pool's own fixed costs.
+"""
+
+import pytest
+
+from repro.constraints import parse_constraint, parse_constraints
+from repro.reasoning import Context, ImplicationProblem, solve
+from repro.reasoning.costmodel import (
+    INLINE_MAX_CODES,
+    ExecMode,
+    available_cpus,
+    calibration,
+    choose_execution,
+    estimate_untyped_codes,
+    normalize_jobs,
+    observe_typed_scan,
+    observe_untyped_scan,
+    reset_calibration,
+    validate_jobs,
+    validate_max_respawns,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_calibration():
+    reset_calibration()
+    yield
+    reset_calibration()
+
+
+class TestValidateJobs:
+    @pytest.mark.parametrize("jobs", [1, 2, 8, 64])
+    def test_positive_ints_pass_through(self, jobs):
+        assert validate_jobs(jobs) == jobs
+
+    @pytest.mark.parametrize("jobs", ["auto", "AUTO", "  auto  "])
+    def test_auto_is_normalized(self, jobs):
+        assert validate_jobs(jobs) == "auto"
+
+    @pytest.mark.parametrize(
+        "jobs", [0, -1, -8, 1.5, 2.0, True, False, None, "fast", "", "2"]
+    )
+    def test_nonsense_raises_value_error(self, jobs):
+        with pytest.raises(ValueError):
+            validate_jobs(jobs)
+
+    def test_normalize_resolves_auto_to_cpu_count(self):
+        assert normalize_jobs("auto") == available_cpus()
+        assert normalize_jobs(3) == 3
+
+
+class TestValidateMaxRespawns:
+    @pytest.mark.parametrize("value", [0, 1, 5])
+    def test_non_negative_ints_pass(self, value):
+        assert validate_max_respawns(value) == value
+
+    @pytest.mark.parametrize("value", [-1, 1.5, True, None, "2"])
+    def test_nonsense_raises(self, value):
+        with pytest.raises(ValueError):
+            validate_max_respawns(value)
+
+
+class TestDispatcherValidation:
+    """Satellite regression: solve() rejects bad knobs before any work."""
+
+    def _problem(self):
+        return ImplicationProblem(
+            parse_constraints("a => b"),
+            parse_constraint("a => c"),
+            Context.SEMISTRUCTURED,
+        )
+
+    @pytest.mark.parametrize("jobs", [0, -2, 1.5, "fast", True])
+    def test_bad_jobs(self, jobs):
+        with pytest.raises(ValueError):
+            solve(self._problem(), jobs=jobs)
+
+    @pytest.mark.parametrize("value", [-1, 0.5, "many"])
+    def test_bad_max_respawns(self, value):
+        with pytest.raises(ValueError):
+            solve(self._problem(), max_respawns=value)
+
+    def test_auto_is_accepted_on_every_cell(self):
+        # Decidable cell: validation passes, routing ignores jobs.
+        result = solve(self._problem(), jobs="auto")
+        assert result.answer.is_definite
+
+
+class TestEstimate:
+    def test_closed_form_matches_hand_sum(self):
+        # L=1: 2^1 + 2^4 + 2^9 = 530
+        assert estimate_untyped_codes(1, 3) == 2 + 16 + 512
+        assert estimate_untyped_codes(2, 2) == 4 + 256
+
+    def test_zero_levels_is_zero(self):
+        assert estimate_untyped_codes(3, 0) == 0
+
+    def test_huge_spaces_cap_instead_of_bigint(self):
+        assert estimate_untyped_codes(5, 10) == 1 << 62
+
+    def test_negative_args_raise(self):
+        with pytest.raises(ValueError):
+            estimate_untyped_codes(-1, 2)
+
+
+class TestChooseExecution:
+    def test_sequential_request_stays_inline(self):
+        d = choose_execution(
+            kind="untyped", work_units=1000, jobs=1, cpus=8
+        )
+        assert d.mode is ExecMode.INLINE and d.jobs == 1
+
+    def test_small_space_never_pays_for_a_pool(self):
+        d = choose_execution(
+            kind="untyped", work_units=530, jobs=8, cpus=8
+        )
+        assert d.mode is ExecMode.INLINE
+
+    def test_one_cpu_never_chooses_the_pool(self):
+        # The original regression: jobs=2 on a 1-CPU box must not
+        # spawn processes that only add overhead.
+        d = choose_execution(
+            kind="untyped", work_units=1 << 25, jobs=2, cpus=1
+        )
+        assert d.mode is not ExecMode.POOL
+
+    def test_large_space_many_cpus_pools(self):
+        d = choose_execution(
+            kind="untyped", work_units=1 << 25, jobs=8, cpus=8
+        )
+        assert d.mode is ExecMode.POOL
+        assert d.jobs == 8
+
+    def test_jobs_is_a_cap_not_a_command(self):
+        d = choose_execution(
+            kind="untyped", work_units=1 << 25, jobs=64, cpus=4
+        )
+        assert d.jobs <= 4
+
+    def test_medium_space_chunks_in_process(self):
+        d = choose_execution(
+            kind="untyped",
+            work_units=INLINE_MAX_CODES * 4,
+            jobs=2,
+            cpus=1,
+        )
+        assert d.mode is ExecMode.SHARDED
+
+    def test_warm_pool_lowers_the_threshold(self):
+        # A scan too small to amortize a cold spawn is still worth
+        # dispatching onto workers that already exist.
+        kwargs = dict(kind="untyped", work_units=20_000, jobs=2, cpus=2)
+        cold = choose_execution(warm_available=False, **kwargs)
+        warm = choose_execution(warm_available=True, **kwargs)
+        assert cold.mode is ExecMode.INLINE
+        assert warm.mode is ExecMode.POOL and warm.warm
+
+    def test_typed_scans_discount_the_parallel_fraction(self):
+        # Stride shards re-enumerate the full instance stream, so only
+        # half a typed scan parallelizes: at the default 4.5k/s rate an
+        # estimated ~0.3s scan would clear the pool margin at full
+        # fraction but must stay inline at the discounted one, while a
+        # ~1s scan pools either way.
+        border = choose_execution(
+            kind="typed", work_units=1_350, jobs=2, cpus=2
+        )
+        big = choose_execution(
+            kind="typed", work_units=4_500, jobs=2, cpus=2
+        )
+        assert border.mode is ExecMode.INLINE
+        assert big.mode is ExecMode.POOL
+
+    def test_forced_pool_requires_two_jobs(self):
+        with pytest.raises(ValueError):
+            choose_execution(
+                kind="untyped",
+                work_units=10,
+                jobs=1,
+                forced=ExecMode.POOL,
+            )
+
+    def test_forced_mode_is_recorded(self):
+        d = choose_execution(
+            kind="untyped",
+            work_units=10,
+            jobs=2,
+            cpus=1,
+            forced=ExecMode.POOL,
+        )
+        assert d.mode is ExecMode.POOL and d.forced
+        assert "forced" in d.describe()
+        assert d.to_dict()["forced"] is True
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            choose_execution(kind="quantum", work_units=1, jobs=1)
+
+
+class TestCalibration:
+    def test_observations_move_the_rate(self):
+        before = calibration().untyped_rate
+        observe_untyped_scan(int(before * 4), 1.0)
+        after = calibration().untyped_rate
+        assert after > before
+        assert calibration().untyped_samples == 1
+
+    def test_degenerate_observations_are_ignored(self):
+        before = calibration().typed_rate
+        observe_typed_scan(0, 1.0)
+        observe_typed_scan(100, 0.0)
+        assert calibration().typed_rate == before
+        assert calibration().typed_samples == 0
+
+    def test_calibration_feeds_the_decision(self):
+        # Slow the measured throughput far enough and a space that was
+        # inline-cheap becomes pool-worthy.
+        fast = choose_execution(
+            kind="untyped", work_units=20_000, jobs=4, cpus=4
+        )
+        for _ in range(40):
+            observe_untyped_scan(100, 1.0)  # ~100 codes/s: dire
+        slow = choose_execution(
+            kind="untyped", work_units=20_000, jobs=4, cpus=4
+        )
+        assert fast.mode is ExecMode.INLINE
+        assert slow.mode is ExecMode.POOL
+        assert slow.estimated_seconds > fast.estimated_seconds

@@ -32,7 +32,7 @@ from repro.reasoning.portfolio import (
     parallel_countermodel_search,
     run_portfolio,
 )
-from repro.reasoning.runtime import WorkerSupervisor
+from repro.reasoning.runtime import WorkerSupervisor, retire_warm_pool
 from repro.truth import Trilean
 
 pytestmark = pytest.mark.stress
@@ -58,7 +58,13 @@ def _divergent_problem():
 
 
 def _assert_no_orphans(deadline=10.0):
-    """Every pool worker must be reaped shortly after teardown."""
+    """Every pool worker must be reaped shortly after teardown.
+
+    Warm-pool workers legitimately outlive a solve now, so retire the
+    pool first — what must never survive is a worker the supervisor
+    lost track of.
+    """
+    retire_warm_pool()
     end = time.monotonic() + deadline
     while time.monotonic() < end:
         children = [
@@ -92,10 +98,13 @@ class TestWorkerDeath:
         # kill:1 murders the first counter-model shard's worker; the
         # supervisor respawns the pool, resubmits the shard from its
         # (start, stop) range, and the race still settles FALSE.
+        # execution="pool" bypasses the cost model (which would route
+        # this small instance inline) so injection hits real workers.
         result = run_portfolio(
             _divergent_problem(),
             jobs=2,
             fault_plan=FaultPlan.from_spec("kill:1"),
+            execution="pool",
         )
         assert result.answer is Trilean.FALSE
         assert not result.faults.clean
@@ -112,6 +121,7 @@ class TestWorkerDeath:
             jobs=2,
             budget=Budget.from_seconds(60.0),
             fault_plan=FaultPlan.from_spec("kill:0,kill:1"),
+            execution="pool",
         )
         assert result.answer is Trilean.FALSE
         assert time.monotonic() - began < 60.0
@@ -128,6 +138,7 @@ class TestWorkerDeath:
             max_nodes=3,
             jobs=2,
             fault_plan=FaultPlan.from_spec("kill:0"),
+            execution="pool",
         )
         assert clean.graph is not None and shaken.graph is not None
         assert clean.graph.node_count() == shaken.graph.node_count()
@@ -168,6 +179,7 @@ class TestUnpicklablePayload:
             _divergent_problem(),
             jobs=2,
             fault_plan=FaultPlan.from_spec("corrupt:0,corrupt:1"),
+            execution="pool",
         )
         assert result.answer is Trilean.FALSE
         assert not result.faults.clean
@@ -242,7 +254,8 @@ class TestInjectionSoundness:
         )
         try:
             result = run_portfolio(
-                _divergent_problem(), jobs=2, fault_plan=plan
+                _divergent_problem(), jobs=2, fault_plan=plan,
+                execution="pool",
             )
         except ReproError:
             pass  # typed failure is an acceptable outcome

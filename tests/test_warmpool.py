@@ -1,0 +1,139 @@
+"""Warm persistent pool + shared-memory transport: reuse and cleanup.
+
+Satellite (c) of the cost-model PR:
+
+* two consecutive pooled solves must reuse the same worker processes
+  (the warm pool survives across ``solve()`` calls — no respawn tax on
+  the second solve);
+* a worker crash mid-shard must not leak a single shared-memory
+  segment, because the parent owns every segment and unlinks in a
+  ``finally`` around the race.
+
+Pool execution is forced (``execution="pool"``) throughout: on a small
+instance the cost model would otherwise — correctly — refuse to spawn
+processes at all.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.constraints import parse_constraint, parse_constraints
+from repro.reasoning import Context, ImplicationProblem
+from repro.reasoning.costmodel import ExecMode
+from repro.reasoning.faultinject import FaultPlan
+from repro.reasoning.portfolio import run_portfolio
+from repro.reasoning.runtime import (
+    retire_warm_pool,
+    warm_pool_pids,
+    warm_pool_stats,
+)
+from repro.reasoning.shm import active_owned_segments
+from repro.truth import Trilean
+
+# Same divergent-chase instance as the fault-tolerance suite: the
+# counter-model engines must actually run (FALSE via a 3-node model).
+SIGMA = (
+    "() => K\n"
+    "K :: () => a.a.a\n"
+    "K :: a.a.a => ()\n"
+    "a :: a => a"
+)
+PHI = "K :: a => ()"
+
+
+def _problem():
+    return ImplicationProblem(
+        parse_constraints(SIGMA),
+        parse_constraint(PHI),
+        Context.SEMISTRUCTURED,
+    )
+
+
+def _pooled_solve(**kwargs):
+    return run_portfolio(_problem(), jobs=2, execution="pool", **kwargs)
+
+
+def _shm_leftovers():
+    """repro-owned names still present in the kernel's shm namespace."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return glob.glob("/dev/shm/repro-scan-*") + glob.glob(
+        "/dev/shm/repro-cancel-*"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _cold_start():
+    retire_warm_pool()
+    yield
+    retire_warm_pool()
+
+
+class TestWarmReuse:
+    def test_two_solves_reuse_the_same_workers(self):
+        first = _pooled_solve()
+        pids_after_first = warm_pool_pids()
+        stats_first = warm_pool_stats()
+        second = _pooled_solve()
+        pids_after_second = warm_pool_pids()
+        stats_second = warm_pool_stats()
+
+        assert first.answer is Trilean.FALSE
+        assert second.answer is Trilean.FALSE
+        assert first.execution.mode is ExecMode.POOL
+
+        # The pool survived the first solve and served the second.
+        assert pids_after_first, "warm pool empty after a pooled solve"
+        assert pids_after_first == pids_after_second
+        assert stats_first["alive"] and not stats_first["leased"]
+        # Exactly one lease reused the pool, and nothing respawned.
+        assert stats_second["reuses"] == stats_first["reuses"] + 1
+        assert stats_second["spawns"] == stats_first["spawns"]
+
+    def test_second_solve_sees_a_warm_decision(self):
+        _pooled_solve()
+        warmed = _pooled_solve()
+        assert warmed.execution.warm
+
+    def test_retire_reaps_the_workers(self):
+        _pooled_solve()
+        pids = warm_pool_pids()
+        assert pids
+        retire_warm_pool()
+        assert warm_pool_pids() == ()
+        assert not warm_pool_stats()["alive"]
+        for pid in pids:
+            # A reaped child is gone (or a zombie about to be joined);
+            # os.kill(pid, 0) on a live unrelated reuse of the pid is
+            # astronomically unlikely within this window.
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                continue
+
+    def test_no_segments_survive_a_clean_solve(self):
+        _pooled_solve()
+        assert active_owned_segments() == ()
+        assert _shm_leftovers() == []
+
+
+@pytest.mark.stress
+class TestCrashCleanup:
+    def test_os_exit_crash_mid_shard_leaks_no_segments(self):
+        # kill:1 takes out a worker while shards are in flight; the
+        # supervisor respawns and the verdict survives — and every
+        # parent-owned segment is unlinked on the way out.
+        result = _pooled_solve(fault_plan=FaultPlan.from_spec("kill:1"))
+        assert result.answer is Trilean.FALSE
+        assert not result.faults.clean
+        assert active_owned_segments() == ()
+        assert _shm_leftovers() == []
+
+    def test_repeated_crashes_still_leak_nothing(self):
+        for spec in ("kill:0", "kill:0,kill:1", "raise:0,kill:2"):
+            result = _pooled_solve(fault_plan=FaultPlan.from_spec(spec))
+            assert result.answer in (Trilean.FALSE, Trilean.UNKNOWN)
+            assert active_owned_segments() == ()
+            assert _shm_leftovers() == []
