@@ -46,3 +46,28 @@ assert j2 <= 1.1 * j1 + 0.05, (
 )
 print(f"jobs_1={j1:.3f}s jobs_2={j2:.3f}s: parallel regression gate ok")
 EOF
+
+# Cache-regression gate: warm alpha-renamed hits must stay >= 100x
+# faster than the cold solve, the seeded repeat workload must keep a
+# >= 30% hit rate, and the fuzz --cache-check sweep must report zero
+# cold-vs-cached verdict flips.
+python - <<'EOF'
+import json
+
+bench = json.load(open("BENCH_cache.json"))
+cw, rw, cc = bench["cold_vs_warm"], bench["repeat_workload"], bench["cache_check"]
+assert cw["speedup"] >= 100, (
+    f"cache gate: warm hit only {cw['speedup']}x faster than cold "
+    f"(cold {cw['cold_ms']}ms, warm {cw['warm_hit_ms']}ms)"
+)
+assert rw["hit_rate"] >= 0.30, (
+    f"cache gate: repeat-workload hit rate {rw['hit_rate']:.1%} < 30%"
+)
+assert cc["flips"] == 0, (
+    f"cache gate: {cc['flips']} cold-vs-cached verdict flips"
+)
+print(
+    f"speedup={cw['speedup']}x hit_rate={rw['hit_rate']:.0%} "
+    f"flips={cc['flips']}: cache regression gate ok"
+)
+EOF

@@ -26,11 +26,22 @@ python -m repro fuzz --seed 7 --per-fragment 5 \
 # means a definite answer; injected faults may only demote to UNKNOWN
 # (exit 2), never error out.
 sigma_file="$(mktemp)"
-trap 'rm -f "$sigma_file"' EXIT
+cache_dir="$(mktemp -d)"
+trap 'rm -f "$sigma_file"; rm -rf "$cache_dir"' EXIT
 printf '() => K\nK :: () => a.a.a\nK :: a.a.a => ()\na :: a => a\n' \
     > "$sigma_file"
 python -m repro imply "$sigma_file" 'K :: a => ()' --jobs auto
 python -m repro imply "$sigma_file" 'K :: a => ()' --jobs auto \
     --inject kill:1,raise:2 || [ $? -eq 2 ]
+
+# Cache smoke: the same query twice against a fresh --cache-dir.  The
+# first run stores its definite answer; the second MUST report a hit
+# (the grep fails the script if it re-solved instead), and the stats
+# subcommand must see the stored entry.
+python -m repro imply "$sigma_file" 'K :: a => ()' \
+    --cache-dir "$cache_dir"
+python -m repro imply "$sigma_file" 'K :: a => ()' \
+    --cache-dir "$cache_dir" | grep 'cache: *hit'
+python -m repro cache stats --cache-dir "$cache_dir"
 
 exec python -m pytest -x -q "$@"

@@ -18,7 +18,13 @@ Commands
     in wall-clock seconds, ``--max-respawns`` bounds pool respawns
     after worker crashes, and ``--inject`` enables deterministic fault
     injection (``kill:3``, ``delay:2:0.5``, ``corrupt:1``, ``raise:0``,
-    ``rate:0.3[:seed]``; comma-separated).
+    ``rate:0.3[:seed]``; comma-separated).  Answers are served from
+    and stored to the cross-request implication cache
+    (``--cache-dir``/``$REPRO_CACHE_DIR``, default ``~/.cache/repro``;
+    ``--no-cache`` bypasses it).
+``cache stats|clear [--cache-dir DIR]``
+    Inspect (entries, bytes, lifetime hit/miss/store counters) or
+    empty the on-disk implication cache.
 ``classify CONSTRAINTS QUERY``
     Report the fragment (P_w / P_w(K) / local extent / P_c) and the
     decidability verdict in every context.
@@ -36,7 +42,9 @@ Commands
     the clean one (definite answers may demote to UNKNOWN, never flip).
     ``--json-out`` is written atomically (temp file + rename), and an
     interrupted sweep still writes its partial report with
-    ``"aborted": true``.
+    ``"aborted": true``.  ``--cache-check`` additionally solves every
+    instance cold and through a warmed implication cache and treats
+    any verdict difference as a disagreement.
 
 Constraint files use the line syntax (``#`` comments allowed)::
 
@@ -64,6 +72,7 @@ from repro.reasoning import (
     solve,
     table1_cell,
 )
+from repro.reasoning.cache import ImplicationCache, resolve_cache_dir
 from repro.reasoning.chase import chase
 
 
@@ -124,6 +133,20 @@ def _parse_jobs(text: str) -> int | str:
         ) from None
 
 
+def _build_cache(args: argparse.Namespace) -> ImplicationCache | None:
+    """The implication cache for one CLI invocation.
+
+    Resolution: ``--no-cache`` disables it entirely; otherwise the
+    on-disk store lives at ``--cache-dir``, else ``$REPRO_CACHE_DIR``,
+    else ``~/.cache/repro``.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    return ImplicationCache(
+        cache_dir=resolve_cache_dir(getattr(args, "cache_dir", None))
+    )
+
+
 def _cmd_imply(args: argparse.Namespace) -> int:
     sigma = _load_constraints(args.constraints)
     phi = parse_constraint(args.query)
@@ -154,20 +177,28 @@ def _cmd_imply(args: argparse.Namespace) -> int:
         from repro.reasoning.faultinject import FaultPlan
 
         inject = FaultPlan.from_spec(args.inject)
-    result = solve(
-        problem,
-        allow_semidecision=not args.strict,
-        jobs=jobs,
-        deadline=args.deadline,
-        max_respawns=args.max_respawns,
-        inject=inject,
-    )
+    cache = _build_cache(args)
+    try:
+        result = solve(
+            problem,
+            allow_semidecision=not args.strict,
+            jobs=jobs,
+            deadline=args.deadline,
+            max_respawns=args.max_respawns,
+            inject=inject,
+            cache=cache,
+        )
+    finally:
+        if cache is not None:
+            cache.flush_counters()
     print(f"answer:     {result.answer.value}")
     print(f"method:     {result.method}")
     klass = classify(sigma, phi)
     decidable, complexity = table1_cell(klass, context)
     status = f"decidable ({complexity})" if decidable else "undecidable"
     print(f"fragment:   {klass.value}  [{context.value}: {status}]")
+    if result.cache is not None:
+        print(f"cache:      {result.cache.describe()}")
     for engine in result.stats:
         print(f"engine:     {engine.describe()}")
     if not result.faults.clean:
@@ -223,6 +254,26 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ImplicationCache(cache_dir=resolve_cache_dir(args.cache_dir))
+    assert cache.disk is not None
+    if args.action == "stats":
+        disk = cache.stats()["disk"]
+        counters = disk["lifetime_counters"]
+        print(f"directory:  {disk['directory']}")
+        print(f"version:    {disk['version']}")
+        print(f"entries:    {disk['entries']}")
+        print(f"bytes:      {disk['bytes']}")
+        print(f"hits:       {counters['hits']}")
+        print(f"misses:     {counters['misses']}")
+        print(f"stores:     {counters['stores']}")
+        return 0
+    removed = cache.clear()
+    noun = "entry" if removed == 1 else "entries"
+    print(f"cleared {removed} {noun} from {cache.disk.root}")
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.diffcheck import fuzz
     from repro.diffcheck.oracles import OracleConfig
@@ -241,6 +292,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             shrink=not args.no_shrink,
             inject_rate=args.inject_rate,
             inject_seed=args.inject_seed,
+            cache_check=args.cache_check,
             report_sink=sink,
         )
     except BaseException:
@@ -339,7 +391,36 @@ def build_parser() -> argparse.ArgumentParser:
         "delay:ORD:SECONDS, corrupt:ORD, rate:R[:SEED] "
         "(comma-separated; testing instrument)",
     )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the cross-request implication cache entirely",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="on-disk cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
     p.set_defaults(func=_cmd_imply)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or clear the cross-request implication cache",
+    )
+    p.add_argument(
+        "action",
+        choices=("stats", "clear"),
+        help="stats: entries/bytes and lifetime hit/miss/store "
+        "counters; clear: remove every stored entry",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="on-disk cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("classify", help="fragment + Table 1 verdicts")
     p.add_argument("constraints")
@@ -413,6 +494,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="seed for the deterministic injection plans",
+    )
+    p.add_argument(
+        "--cache-check",
+        action="store_true",
+        help="solve every instance cold and again through a warmed "
+        "implication cache and fail on any verdict difference",
     )
     p.set_defaults(func=_cmd_fuzz)
 

@@ -28,6 +28,13 @@ whose certificate (an I_r proof or a counter-model graph) fails
 independent re-verification via :func:`check_proof` / the Definition
 2.1 checker.  Unsound-direction answers are demoted to UNKNOWN at the
 verdict boundary, so the conflict test itself stays a one-liner.
+
+The matrix is *cache-bypassed by construction*: every engine here
+calls its decision procedure directly (never ``solve(cache=...)``),
+so the oracle verdicts are always freshly computed — which is exactly
+what lets the ``fuzz --cache-check`` differential (and the cache unit
+tests) reuse :func:`verify_countermodel` to independently cross-check
+a replayed cache hit against an uncached ground truth.
 """
 
 from __future__ import annotations

@@ -16,7 +16,9 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.constraints.ast import PathConstraint
-from repro.reasoning.dispatcher import Context, ImplicationProblem
+from repro.errors import ReproError
+from repro.reasoning.cache import ImplicationCache
+from repro.reasoning.dispatcher import Context, ImplicationProblem, solve
 from repro.reasoning.faultinject import FaultPlan
 from repro.reasoning.portfolio import Budget, run_portfolio
 from repro.truth import Trilean
@@ -118,6 +120,12 @@ class FuzzReport:
     inject_seed: int = 0
     injected_runs: int = 0
     injected_demotions: int = 0
+    #: cache differential settings and tallies (see ``fuzz(cache_check=)``).
+    cache_check: bool = False
+    cache_checks: int = 0
+    cache_lookups: int = 0
+    cache_hits: int = 0
+    cache_flips: int = 0
     #: True when the sweep was cut short (KeyboardInterrupt or crash);
     #: all tallies up to the cut are valid.
     aborted: bool = False
@@ -138,6 +146,11 @@ class FuzzReport:
             "inject_seed": self.inject_seed,
             "injected_runs": self.injected_runs,
             "injected_demotions": self.injected_demotions,
+            "cache_check": self.cache_check,
+            "cache_checks": self.cache_checks,
+            "cache_lookups": self.cache_lookups,
+            "cache_hits": self.cache_hits,
+            "cache_flips": self.cache_flips,
             "aborted": self.aborted,
             "fragments": {
                 name: stats.to_dict()
@@ -166,6 +179,18 @@ class FuzzReport:
                 f"seed={self.inject_seed} runs={self.injected_runs} "
                 f"demotions={self.injected_demotions} "
                 f"(definite verdicts must survive or demote, never flip)"
+            )
+        if self.cache_check:
+            rate = (
+                self.cache_hits / self.cache_lookups
+                if self.cache_lookups
+                else 0.0
+            )
+            lines.append(
+                f"  cache check: instances={self.cache_checks} "
+                f"lookups={self.cache_lookups} hits={self.cache_hits} "
+                f"(rate {rate:.0%}) flips={self.cache_flips} "
+                f"(cold and cached verdicts must agree)"
             )
         for name, stats in self.fragments.items():
             lines.append(
@@ -227,6 +252,7 @@ def fuzz(
     extra=None,
     inject_rate: float = 0.0,
     inject_seed: int = 0,
+    cache_check: bool = False,
     report_sink: dict | None = None,
 ) -> FuzzReport:
     """Run one differential sweep.
@@ -246,6 +272,15 @@ def fuzz(
     the clean one: a definite verdict may survive or demote to UNKNOWN,
     but a TRUE<->FALSE flip is recorded as a disagreement — the
     soundness contract of the fault-tolerant runtime.
+
+    With ``cache_check=True`` every instance is additionally solved
+    cold (no cache) and again through an in-process implication cache
+    shared by the whole sweep — warmed by every instance before it,
+    so alpha-equivalent repeats replay stored verdicts.  A definite
+    cold verdict and a definite cached verdict that differ are
+    recorded as a ``cache-flip`` disagreement, and every replayed
+    counter-model is re-verified against the instance: the cache may
+    skip work, never change an answer.
 
     A ``KeyboardInterrupt`` mid-sweep does not lose the report: the
     partial report is returned with ``aborted=True`` (and is reachable
@@ -272,7 +307,9 @@ def fuzz(
         per_fragment=per_fragment,
         inject_rate=inject_rate,
         inject_seed=inject_seed,
+        cache_check=cache_check,
     )
+    warm_cache = ImplicationCache() if cache_check else None
     if report_sink is not None:
         report_sink["report"] = report
     try:
@@ -317,6 +354,11 @@ def fuzz(
                         index,
                         inject_rate,
                         inject_seed,
+                    )
+                if warm_cache is not None:
+                    _cache_check_pass(
+                        report, stats, instance, config, seed, index,
+                        warm_cache,
                     )
             if report.deadline_hit:
                 break
@@ -427,6 +469,138 @@ def _injected_pass(
                         index,
                     )
                 )
+
+
+def _cache_check_pass(
+    report: FuzzReport,
+    stats: FragmentStats,
+    instance: FragmentInstance,
+    config: OracleConfig,
+    seed: int,
+    index: int,
+    warm_cache: ImplicationCache,
+) -> None:
+    """Solve cold, then through the sweep-warmed cache, and compare.
+
+    Three solves per instance, identical budgets: cold (no cache),
+    warm (first sight stores; an alpha-equivalent repeat of an earlier
+    instance replays), and replay (guaranteed to exercise the hit path
+    for whatever the warm pass left behind).  Any definite-vs-definite
+    difference is a ``cache-flip`` disagreement; a replayed
+    counter-model that fails independent re-verification is a
+    ``cache-bad-certificate``.
+    """
+    remaining = None
+    if config.deadline is not None:
+        remaining = max(0.05, config.deadline - time.monotonic())
+    problem = ImplicationProblem(
+        instance.sigma, instance.phi, instance.context, schema=instance.schema
+    )
+
+    def _solve(cache):
+        return solve(
+            problem,
+            chase_steps=config.chase_steps,
+            countermodel_nodes=config.countermodel_nodes,
+            typed_search_limit=config.typed_limit,
+            jobs=1,
+            deadline=remaining,
+            cache=cache,
+        )
+
+    try:
+        cold = _solve(None)
+        runs = [("cached-warm", _solve(warm_cache))]
+        runs.append(("cached-replay", _solve(warm_cache)))
+    except ReproError:
+        # The oracle matrix wraps every engine call and turns a
+        # budget-starved fragment raise into an UNKNOWN abstention; the
+        # direct dispatcher path used here has no such wrapper.  With
+        # no cold verdict to compare against there is nothing to
+        # check, so skip the instance (UNKNOWN is never cached, so the
+        # warm cache cannot have been poisoned either).
+        return
+    report.cache_checks += 1
+    stats.engine_runs += 3
+    for name, run in runs:
+        info = run.cache
+        report.cache_lookups += 1
+        if info is not None and info.status == "hit":
+            report.cache_hits += 1
+        if (
+            cold.answer.is_definite
+            and run.answer.is_definite
+            and run.answer is not cold.answer
+        ):
+            report.cache_flips += 1
+            stats.disagreements += 1
+            report.disagreements.append(
+                _cache_record(
+                    instance, "cache-flip", name, cold, run, seed, index
+                )
+            )
+            continue
+        if (
+            info is not None
+            and info.status == "hit"
+            and run.countermodel is not None
+            and not verify_countermodel(
+                run.countermodel, instance.sigma, instance.phi
+            )
+        ):
+            report.cache_flips += 1
+            stats.disagreements += 1
+            report.disagreements.append(
+                _cache_record(
+                    instance,
+                    "cache-bad-certificate",
+                    name,
+                    cold,
+                    run,
+                    seed,
+                    index,
+                )
+            )
+
+
+def _cache_record(
+    instance: FragmentInstance,
+    kind: str,
+    engine: str,
+    cold,
+    cached,
+    seed: int,
+    index: int,
+) -> DisagreementRecord:
+    """A disagreement record for a cache finding (never shrunk — the
+    hit depends on the sweep's warming order, which ``detail`` names)."""
+    sigma = _strs(instance.sigma)
+    info = cached.cache
+    detail = (
+        f"cache={info.describe() if info is not None else 'none'}; "
+        f"cold method={cold.method}; cached method={cached.method}"
+    )
+    test = (
+        f"# {kind}: cold solve vs {engine} disagreed\n"
+        f"# fragment={instance.fragment} seed={seed} index={index}\n"
+        f"# {detail}\n"
+        f"# sigma={list(sigma)!r}\n"
+        f"# phi={str(instance.phi)!r}\n"
+    )
+    return DisagreementRecord(
+        fragment=instance.fragment,
+        seed=seed,
+        index=index,
+        kind=kind,
+        engines=("cold-solve", engine),
+        answers=(cold.answer.value, cached.answer.value),
+        detail=detail,
+        original_sigma=sigma,
+        original_phi=str(instance.phi),
+        shrunk_sigma=sigma,
+        shrunk_phi=str(instance.phi),
+        regression_test=test,
+    )
 
 
 def _injected_record(

@@ -18,6 +18,16 @@ to the right procedure and annotates the answer with the cell's status.
 """
 
 from repro.reasoning.result import ImplicationResult
+from repro.reasoning.cache import (
+    CacheInfo,
+    ImplicationCache,
+    resolve_cache_dir,
+)
+from repro.reasoning.canonical import (
+    CanonicalForm,
+    canonicalize_instance,
+    canonicalize_problem,
+)
 from repro.reasoning.word import WordImplicationDecider, implies_word
 from repro.reasoning.typed_m import TypedImplicationDecider, implies_typed_m
 from repro.reasoning.local_extent import implies_local_extent
@@ -58,15 +68,21 @@ from repro.reasoning.result import EngineStats, FaultEvent, FaultReport
 
 __all__ = [
     "Budget",
+    "CacheInfo",
+    "CanonicalForm",
     "EngineStats",
     "ExecMode",
     "ExecutionDecision",
     "FaultEvent",
     "FaultPlan",
     "FaultReport",
+    "ImplicationCache",
     "ImplicationResult",
     "WorkerSupervisor",
+    "canonicalize_instance",
+    "canonicalize_problem",
     "choose_execution",
+    "resolve_cache_dir",
     "parallel_countermodel_search",
     "parallel_find_countermodel",
     "retire_warm_pool",

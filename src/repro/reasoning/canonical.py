@@ -1,0 +1,513 @@
+"""Canonical forms for whole implication instances.
+
+An implication answer is a pure function of the *structure* of the
+instance: renaming edge labels by any bijection (and, in typed
+contexts, renaming classes) and reordering or duplicating premises
+changes nothing (the constraint language of Definition 2.1 has no
+built-in labels, and Table 1's verdicts quantify over all
+structures).  :func:`canonicalize_instance` exploits that to map an
+instance (premise set Sigma, conclusion phi, context, optional typed
+signature Delta) to a canonical serialized form — identical for any
+two alpha-equivalent instances — whose sha256 is the cross-request
+cache key used by :mod:`repro.reasoning.cache`.
+
+The algorithm mirrors graph canonicalization:
+
+1. *Color refinement.*  Every label (and class name) gets a color
+   derived purely from where it occurs — positions inside premise and
+   conclusion paths, record fields and class references in the schema
+   — with constraint/type shapes rendered under the current coloring.
+   Iterating to a fixpoint partitions the alphabet into structural
+   equivalence classes without ever looking at the original names.
+2. *Tie-break search.*  Residual symmetries (labels the refinement
+   cannot distinguish — they really are interchangeable, or nearly so)
+   are resolved by enumerating the remaining assignments and keeping
+   the lexicographically least serialization.  The search space is the
+   product of factorials of the ambiguous group sizes; above
+   ``search_cap`` we fall back to ordering by original name, which is
+   still deterministic (same instance -> same key) but no longer
+   alpha-invariant — the form records ``fallback=True``.
+
+Rigid symbols are never renamed: the membership label
+(:data:`repro.types.typesys.MEMBERSHIP_LABEL`) in typed contexts, and
+atomic type names, both carry fixed semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from itertools import permutations, product
+from math import factorial
+
+from repro.constraints.ast import Direction, PathConstraint
+from repro.graph.structure import Graph
+from repro.paths import Path
+from repro.types.typesys import (
+    MEMBERSHIP_LABEL,
+    ClassRef,
+    RecordType,
+    Schema,
+    SetType,
+    Type,
+)
+
+#: Bump when the canonical serialization format changes; folded into
+#: the serialized text, so old cache entries stop matching.
+CANON_VERSION = 1
+
+#: Default ceiling on the tie-break search (product over ambiguous
+#: groups of group-size factorials).  7! — instances from the seeded
+#: generators never get near it.
+DEFAULT_SEARCH_CAP = 5040
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The canonical serialization of one implication instance.
+
+    ``label_map`` / ``class_map`` send original names to canonical
+    ones (rigid symbols map to themselves); they are what a cache hit
+    uses to rename a stored certificate back into the caller's
+    alphabet.  ``fallback`` is True when the symmetry search was
+    capped, in which case the key is deterministic but not
+    alpha-invariant.
+    """
+
+    key: str
+    text: str
+    label_map: Mapping[str, str]
+    class_map: Mapping[str, str]
+    fallback: bool = False
+
+    def inverse_label_map(self) -> dict[str, str]:
+        return {v: k for k, v in self.label_map.items()}
+
+    def inverse_class_map(self) -> dict[str, str]:
+        return {v: k for k, v in self.class_map.items()}
+
+
+# ---------------------------------------------------------------------------
+# Renaming helpers (also used by tests and benchmarks to build
+# alpha-variants, and by the cache to replay certificates).
+# ---------------------------------------------------------------------------
+
+
+def rename_path(path: Path, mapping: Mapping[str, str]) -> Path:
+    return Path(mapping.get(label, label) for label in path.labels)
+
+
+def rename_constraint(
+    psi: PathConstraint, mapping: Mapping[str, str]
+) -> PathConstraint:
+    return PathConstraint(
+        rename_path(psi.prefix, mapping),
+        rename_path(psi.lhs, mapping),
+        rename_path(psi.rhs, mapping),
+        psi.direction,
+    )
+
+
+def rename_type(
+    tau: Type,
+    label_map: Mapping[str, str],
+    class_map: Mapping[str, str],
+) -> Type:
+    if isinstance(tau, ClassRef):
+        return ClassRef(class_map.get(tau.name, tau.name))
+    if isinstance(tau, SetType):
+        return SetType(rename_type(tau.element, label_map, class_map))
+    if isinstance(tau, RecordType):
+        return RecordType(
+            [
+                (
+                    label_map.get(label, label),
+                    rename_type(field, label_map, class_map),
+                )
+                for label, field in tau.fields
+            ]
+        )
+    return tau  # atomic types are rigid
+
+
+def rename_schema(
+    schema: Schema,
+    label_map: Mapping[str, str],
+    class_map: Mapping[str, str],
+) -> Schema:
+    """The same schema under a label/class bijection (rigid symbols —
+    ``member``, atomic type names — must not appear in the maps)."""
+    return Schema(
+        {
+            class_map.get(name, name): rename_type(
+                body, label_map, class_map
+            )
+            for name, body in schema.classes.items()
+        },
+        rename_type(schema.db_type, label_map, class_map),
+        atomic_types=schema.atomic_names,
+    )
+
+
+def rename_graph(
+    graph: Graph,
+    label_map: Mapping[str, str],
+    sort_map: Mapping[str, str] | None = None,
+) -> Graph:
+    """A copy of ``graph`` with edge labels (and node sorts) renamed."""
+    out = Graph(root=graph.root, nodes=graph.nodes)
+    for src, label, dst in graph.edges():
+        out.add_edge(src, label_map.get(label, label), dst)
+    if sort_map is None:
+        sort_map = {}
+    for node, sort in graph.sorts.items():
+        out.set_sort(node, sort_map.get(sort, sort))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Shapes under a coloring.
+# ---------------------------------------------------------------------------
+
+
+def _path_shape(path: Path, lcolor: Mapping[str, str]) -> str:
+    return ".".join(lcolor[label] for label in path.labels)
+
+
+def _psi_shape(psi: PathConstraint, lcolor: Mapping[str, str]) -> str:
+    direction = "F" if psi.direction is Direction.FORWARD else "B"
+    return "|".join(
+        (
+            _path_shape(psi.prefix, lcolor),
+            _path_shape(psi.lhs, lcolor),
+            _path_shape(psi.rhs, lcolor),
+            direction,
+        )
+    )
+
+
+def _type_shape(
+    tau: Type, lcolor: Mapping[str, str], ccolor: Mapping[str, str]
+) -> str:
+    if isinstance(tau, ClassRef):
+        return "c:" + ccolor[tau.name]
+    if isinstance(tau, SetType):
+        return "{" + _type_shape(tau.element, lcolor, ccolor) + "}"
+    if isinstance(tau, RecordType):
+        inner = sorted(
+            f"{lcolor[label]}:{_type_shape(field, lcolor, ccolor)}"
+            for label, field in tau.fields
+        )
+        return "[" + ",".join(inner) + "]"
+    return "b:" + tau.name  # type: ignore[attr-defined]
+
+
+def _digest(payload: object) -> str:
+    return hashlib.sha256(repr(payload).encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Color refinement.
+# ---------------------------------------------------------------------------
+
+
+def _collect_schema_occurrences(
+    tau: Type,
+    owner: str,
+    ctx: tuple[str, ...],
+    lsig: dict[str, list],
+    csig: dict[str, list],
+    lcolor: Mapping[str, str],
+    ccolor: Mapping[str, str],
+) -> None:
+    """Record, per label/class, where it occurs inside one type tree.
+
+    ``ctx`` is the color path from the owner down to ``tau`` — built
+    from colors only, so occurrences are name-invariant.
+    """
+    if isinstance(tau, ClassRef):
+        csig[tau.name].append(("ref", owner, ctx))
+    elif isinstance(tau, SetType):
+        _collect_schema_occurrences(
+            tau.element, owner, ctx + ("{}",), lsig, csig, lcolor, ccolor
+        )
+    elif isinstance(tau, RecordType):
+        for label, field in tau.fields:
+            lsig[label].append(
+                ("field", owner, ctx, _type_shape(field, lcolor, ccolor))
+            )
+            _collect_schema_occurrences(
+                field,
+                owner,
+                ctx + (lcolor[label],),
+                lsig,
+                csig,
+                lcolor,
+                ccolor,
+            )
+
+
+def _partition(colors: Mapping[str, str]) -> frozenset[frozenset[str]]:
+    groups: dict[str, set[str]] = {}
+    for name, color in colors.items():
+        groups.setdefault(color, set()).add(name)
+    return frozenset(frozenset(g) for g in groups.values())
+
+
+def _refine_colors(
+    premises: Sequence[PathConstraint],
+    phi: PathConstraint,
+    schema: Schema | None,
+    labels: Sequence[str],
+    classes: Sequence[str],
+    rigid: frozenset[str],
+) -> tuple[dict[str, str], dict[str, str]]:
+    """Iterate occurrence-signature coloring to a stable partition."""
+    lcolor = {
+        label: (f"R:{label}" if label in rigid else "L") for label in labels
+    }
+    ccolor = {name: "C" for name in classes}
+
+    for _ in range(len(labels) + len(classes) + 2):
+        lsig: dict[str, list] = {label: [] for label in labels}
+        csig: dict[str, list] = {name: [] for name in classes}
+
+        constraints = [("Q", phi)] + [("P", psi) for psi in premises]
+        for tag, psi in constraints:
+            shape = tag + ":" + _psi_shape(psi, lcolor)
+            for field_name, path in (
+                ("pf", psi.prefix),
+                ("lhs", psi.lhs),
+                ("rhs", psi.rhs),
+            ):
+                for index, label in enumerate(path.labels):
+                    lsig[label].append((shape, field_name, index))
+
+        if schema is not None:
+            owners = [("DB", schema.db_type)] + [
+                (ccolor[name], schema.body_of(name))
+                for name in classes
+            ]
+            for owner, tau in owners:
+                _collect_schema_occurrences(
+                    tau, owner, (), lsig, csig, lcolor, ccolor
+                )
+            for name in classes:
+                csig[name].append(
+                    ("body", _type_shape(schema.body_of(name), lcolor, ccolor))
+                )
+
+        new_lcolor = {
+            label: (
+                f"R:{label}"
+                if label in rigid
+                else _digest((lcolor[label], sorted(map(repr, lsig[label]))))
+            )
+            for label in labels
+        }
+        new_ccolor = {
+            name: _digest((ccolor[name], sorted(map(repr, csig[name]))))
+            for name in classes
+        }
+        stable = _partition(new_lcolor) == _partition(lcolor) and _partition(
+            new_ccolor
+        ) == _partition(ccolor)
+        lcolor, ccolor = new_lcolor, new_ccolor
+        if stable:
+            break
+    return lcolor, ccolor
+
+
+# ---------------------------------------------------------------------------
+# Serialization under an assignment + the tie-break search.
+# ---------------------------------------------------------------------------
+
+
+def _render_instance(
+    premises: Sequence[PathConstraint],
+    phi: PathConstraint,
+    schema: Schema | None,
+    context_value: str,
+    lmap: Mapping[str, str],
+    cmap: Mapping[str, str],
+) -> str:
+    lines = [f"canon={CANON_VERSION}", f"ctx={context_value}"]
+    lines.append("phi=" + _render_psi(phi, lmap))
+    for rendered in sorted({_render_psi(psi, lmap) for psi in premises}):
+        lines.append("sigma=" + rendered)
+    if schema is not None:
+        lines.append(
+            "db=" + _render_type_named(schema.db_type, lmap, cmap)
+        )
+        for name in sorted(schema.class_names, key=lambda n: cmap[n]):
+            lines.append(
+                cmap[name]
+                + "="
+                + _render_type_named(schema.body_of(name), lmap, cmap)
+            )
+        lines.append("atoms=" + ",".join(sorted(schema.atomic_names)))
+    return "\n".join(lines)
+
+
+def _render_psi(psi: PathConstraint, lmap: Mapping[str, str]) -> str:
+    direction = "F" if psi.direction is Direction.FORWARD else "B"
+    return "|".join(
+        (
+            ".".join(lmap[label] for label in psi.prefix.labels),
+            ".".join(lmap[label] for label in psi.lhs.labels),
+            ".".join(lmap[label] for label in psi.rhs.labels),
+            direction,
+        )
+    )
+
+
+def _render_type_named(
+    tau: Type, lmap: Mapping[str, str], cmap: Mapping[str, str]
+) -> str:
+    if isinstance(tau, ClassRef):
+        return "c:" + cmap[tau.name]
+    if isinstance(tau, SetType):
+        return "{" + _render_type_named(tau.element, lmap, cmap) + "}"
+    if isinstance(tau, RecordType):
+        inner = sorted(
+            f"{lmap[label]}:{_render_type_named(field, lmap, cmap)}"
+            for label, field in tau.fields
+        )
+        return "[" + ",".join(inner) + "]"
+    return "b:" + tau.name  # type: ignore[attr-defined]
+
+
+def _grouped(
+    names: Sequence[str], colors: Mapping[str, str], rigid: frozenset[str]
+) -> list[list[str]]:
+    """Non-rigid names grouped by color; groups ordered by color."""
+    groups: dict[str, list[str]] = {}
+    for name in names:
+        if name in rigid:
+            continue
+        groups.setdefault(colors[name], []).append(name)
+    return [
+        sorted(groups[color]) for color in sorted(groups)
+    ]
+
+
+def canonicalize_instance(
+    sigma: Sequence[PathConstraint],
+    phi: PathConstraint,
+    context_value: str = "semistructured",
+    schema: Schema | None = None,
+    search_cap: int = DEFAULT_SEARCH_CAP,
+) -> CanonicalForm:
+    """Canonicalize one implication instance.
+
+    The returned key is invariant under premise reordering/duplication
+    and under bijective renaming of labels (and class names), rigid
+    symbols excepted — unless the residual symmetry search would
+    exceed ``search_cap``, in which case the key is still
+    deterministic and ``fallback`` is set.
+    """
+    premises = sorted(set(sigma))
+    rigid = (
+        frozenset({MEMBERSHIP_LABEL}) if schema is not None else frozenset()
+    )
+
+    label_set: set[str] = set(phi.alphabet())
+    for psi in premises:
+        label_set |= psi.alphabet()
+    classes: list[str] = []
+    if schema is not None:
+        classes = sorted(schema.class_names)
+        for tau in schema.all_types():
+            if isinstance(tau, RecordType):
+                label_set.update(label for label, _ in tau.fields)
+    labels = sorted(label_set)
+
+    lcolor, ccolor = _refine_colors(
+        premises, phi, schema, labels, classes, rigid
+    )
+
+    label_groups = _grouped(labels, lcolor, rigid)
+    class_groups = _grouped(classes, ccolor, frozenset())
+    assignments = 1
+    for group in label_groups + class_groups:
+        assignments *= factorial(len(group))
+
+    rigid_map = {label: f"!{label}" for label in rigid}
+
+    def build_maps(
+        label_order: Sequence[Sequence[str]],
+        class_order: Sequence[Sequence[str]],
+    ) -> tuple[dict[str, str], dict[str, str]]:
+        lmap = dict(rigid_map)
+        index = 0
+        for group in label_order:
+            for label in group:
+                lmap[label] = f"l{index}"
+                index += 1
+        cmap = {}
+        index = 0
+        for group in class_order:
+            for name in group:
+                cmap[name] = f"C{index}"
+                index += 1
+        return lmap, cmap
+
+    if assignments > search_cap:
+        # Deterministic fallback: original-name order inside each
+        # ambiguous group.  Same instance -> same key, but an
+        # alpha-renamed copy may key differently.
+        lmap, cmap = build_maps(label_groups, class_groups)
+        text = _render_instance(
+            premises, phi, schema, context_value, lmap, cmap
+        )
+        return CanonicalForm(
+            key=hashlib.sha256(text.encode()).hexdigest(),
+            text=text,
+            label_map=lmap,
+            class_map=cmap,
+            fallback=True,
+        )
+
+    best: tuple[str, dict[str, str], dict[str, str]] | None = None
+    label_perms = [list(permutations(g)) for g in label_groups]
+    class_perms = [list(permutations(g)) for g in class_groups]
+    for label_order in product(*label_perms):
+        for class_order in product(*class_perms):
+            lmap, cmap = build_maps(label_order, class_order)
+            text = _render_instance(
+                premises, phi, schema, context_value, lmap, cmap
+            )
+            if best is None or text < best[0]:
+                best = (text, lmap, cmap)
+    assert best is not None  # at least the empty assignment exists
+    text, lmap, cmap = best
+    return CanonicalForm(
+        key=hashlib.sha256(text.encode()).hexdigest(),
+        text=text,
+        label_map=lmap,
+        class_map=cmap,
+        fallback=False,
+    )
+
+
+def canonicalize_problem(problem) -> CanonicalForm:
+    """Canonicalize an :class:`ImplicationProblem`.
+
+    The schema only enters the key in typed contexts — the
+    semistructured route ignores it, so two problems differing only in
+    an unused schema share a key.
+    """
+    from repro.reasoning.dispatcher import Context  # import cycle guard
+
+    schema = (
+        problem.schema
+        if problem.context is not Context.SEMISTRUCTURED
+        else None
+    )
+    return canonicalize_instance(
+        problem.sigma,
+        problem.phi,
+        context_value=problem.context.value,
+        schema=schema,
+    )

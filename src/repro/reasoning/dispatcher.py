@@ -24,7 +24,15 @@ from repro.constraints.classes import (
     is_in_pw_k,
     is_prefix_bounded_set,
 )
-from repro.errors import UndecidableProblemError
+from repro.errors import GraphError, UndecidableProblemError
+from repro.graph.serialize import from_dict as graph_from_dict
+from repro.graph.serialize import to_dict as graph_to_dict
+from repro.reasoning.cache import CacheInfo, ImplicationCache, make_entry
+from repro.reasoning.canonical import (
+    CanonicalForm,
+    canonicalize_problem,
+    rename_graph,
+)
 from repro.reasoning.chase import DEFAULT_CHASE_STEPS
 from repro.reasoning.local_extent import implies_local_extent
 from repro.reasoning.costmodel import validate_jobs, validate_max_respawns
@@ -33,6 +41,7 @@ from repro.reasoning.portfolio import Budget, run_portfolio
 from repro.reasoning.result import ImplicationResult
 from repro.reasoning.typed_m import implies_typed_m
 from repro.reasoning.word import implies_word
+from repro.truth import Trilean
 from repro.types.typesys import Schema
 
 
@@ -167,6 +176,93 @@ def _reconcile_with_table1(
     return result
 
 
+def _replay_cached(
+    entry: dict, form: CanonicalForm, info: CacheInfo
+) -> ImplicationResult:
+    """Rebuild an :class:`ImplicationResult` from a cache entry.
+
+    The stored counter-model (if any) lives in the canonical alphabet;
+    it is renamed back through the *current* instance's inverse maps,
+    so an alpha-renamed repeat query gets a certificate over its own
+    labels — re-verifiable by the Definition 2.1 checker like any
+    fresh refutation.
+    """
+    countermodel = None
+    if entry["countermodel"] is not None:
+        countermodel = rename_graph(
+            graph_from_dict(entry["countermodel"]),
+            form.inverse_label_map(),
+            form.inverse_class_map(),
+        )
+    notes = tuple(entry["notes"])
+    notes += (f"cache: replayed verdict from {info.tier} tier",)
+    if entry["certificate"] == "proof":
+        notes += ("cache: original run carried a proof (not stored); "
+                  "re-solve with with_proof=True to rebuild it",)
+    return ImplicationResult(
+        answer=Trilean(entry["answer"]),
+        method=entry["method"],
+        decidable=entry["decidable"],
+        complexity=entry["complexity"],
+        countermodel=countermodel,
+        notes=notes,
+        cache=info,
+    )
+
+
+def _store_fresh(
+    cache: ImplicationCache,
+    form: CanonicalForm,
+    result: ImplicationResult,
+) -> CacheInfo:
+    """Cache a freshly solved result if it is cacheable.
+
+    Only definite answers from clean (fault-free) runs are stored —
+    UNKNOWN is a budget artifact, not a fact about the instance, and a
+    degraded run's answer should not outlive the run that produced it.
+    Counter-models are stored in the canonical alphabet so any
+    alpha-equivalent instance can replay them.
+    """
+    if not result.answer.is_definite:
+        return CacheInfo(
+            "miss", key=form.key, detail="UNKNOWN answers are never cached"
+        )
+    if not result.faults.clean:
+        return CacheInfo(
+            "miss", key=form.key, detail="fault-degraded run not cached"
+        )
+    certificate = "none"
+    countermodel = None
+    if result.proof is not None:
+        certificate = "proof"
+    if result.countermodel is not None:
+        certificate = "countermodel"
+        try:
+            countermodel = graph_to_dict(
+                rename_graph(
+                    result.countermodel, form.label_map, form.class_map
+                )
+            )
+        except GraphError:
+            # Typed counter-models can carry non-serializable node
+            # ids; keep the verdict, drop the replayable certificate.
+            countermodel = None
+    tier = cache.store(
+        form.key,
+        make_entry(
+            answer=result.answer.value,
+            method=result.method,
+            decidable=result.decidable,
+            complexity=result.complexity,
+            certificate=certificate,
+            countermodel=countermodel,
+            notes=result.notes,
+        ),
+    )
+    detail = "fallback-key" if form.fallback else ""
+    return CacheInfo("store", key=form.key, tier=tier, detail=detail)
+
+
 def solve(
     problem: ImplicationProblem,
     allow_semidecision: bool = True,
@@ -179,6 +275,7 @@ def solve(
     max_respawns: int = 2,
     inject: "FaultPlan | None" = None,
     execution: str = "auto",
+    cache: "ImplicationCache | None" = None,
 ) -> ImplicationResult:
     """Decide or semi-decide an implication problem.
 
@@ -202,6 +299,19 @@ def solve(
     ``allow_semidecision`` an :class:`UndecidableProblemError` is
     raised.  Nonsensical ``jobs`` or ``max_respawns`` (zero, negative,
     non-int) raise :class:`ValueError` before any work starts.
+
+    ``cache`` plugs in a cross-request
+    :class:`~repro.reasoning.cache.ImplicationCache`: a hit replays
+    the stored verdict (certificate renamed into this instance's
+    alphabet) instead of solving, and fresh definite answers from
+    clean runs are stored under the instance's alpha-invariant
+    canonical key.  The key deliberately excludes every budget
+    parameter — a definite answer is a fact about the instance, not
+    about the budget that found it.  Lookups are bypassed under fault
+    injection (the point of an injected run is to exercise the
+    runtime) and when ``with_proof`` asks for a certificate the entry
+    cannot replay; UNKNOWN and fault-degraded results are never
+    stored.  ``result.cache`` records what happened.
     """
     validate_jobs(jobs)
     validate_max_respawns(max_respawns)
@@ -209,14 +319,46 @@ def solve(
     decidable, _complexity = table1_cell(problem_class, problem.context)
     budget = Budget.from_seconds(deadline)
 
+    # Strict mode must raise whether or not the answer is cached: a
+    # cached semi-decision verdict does not make the cell decidable.
+    if not decidable and not allow_semidecision:
+        raise UndecidableProblemError(
+            f"the (finite) implication problem for {problem_class.value} in "
+            f"the {problem.context.value} context is undecidable "
+            "(Table 1); pass allow_semidecision=True for a sound "
+            "three-valued attempt"
+        )
+
+    form: CanonicalForm | None = None
+    bypass: CacheInfo | None = None
+    if cache is not None:
+        if inject is not None:
+            cache.note_bypass()
+            bypass = CacheInfo("bypass", detail="fault injection active")
+        else:
+            form = canonicalize_problem(problem)
+            if not with_proof:
+                # Proof requests skip the lookup (entries store the
+                # certificate kind, not the proof object) but still
+                # store their definite answer below.
+                found = cache.lookup(form.key)
+                if found is not None:
+                    entry, tier = found
+                    result = _replay_cached(
+                        entry,
+                        form,
+                        CacheInfo("hit", key=form.key, tier=tier),
+                    )
+                    return _reconcile_with_table1(
+                        result, problem_class, problem.context
+                    )
+
     if problem.context is Context.M:
         assert problem.schema is not None
         result = implies_typed_m(
             problem.schema, problem.sigma, problem.phi, with_proof=with_proof
         )
-        return _reconcile_with_table1(result, problem_class, problem.context)
-
-    if problem.context is Context.SEMISTRUCTURED and decidable:
+    elif problem.context is Context.SEMISTRUCTURED and decidable:
         if problem_class is ProblemClass.WORD:
             result = implies_word(
                 problem.sigma,
@@ -229,26 +371,22 @@ def solve(
             result = implies_local_extent(
                 list(problem.sigma), problem.phi, with_proof=with_proof
             )
-        return _reconcile_with_table1(result, problem_class, problem.context)
-
-    # Undecidable cell: run the portfolio of semi-deciders.
-    if not allow_semidecision:
-        raise UndecidableProblemError(
-            f"the (finite) implication problem for {problem_class.value} in "
-            f"the {problem.context.value} context is undecidable "
-            "(Table 1); pass allow_semidecision=True for a sound "
-            "three-valued attempt"
+    else:
+        # Undecidable cell: run the portfolio of semi-deciders.
+        result = run_portfolio(
+            problem,
+            jobs=jobs,
+            budget=budget,
+            chase_steps=chase_steps,
+            countermodel_nodes=countermodel_nodes,
+            typed_search_limit=typed_search_limit,
+            max_respawns=max_respawns,
+            fault_plan=inject,
+            execution=execution,
         )
 
-    result = run_portfolio(
-        problem,
-        jobs=jobs,
-        budget=budget,
-        chase_steps=chase_steps,
-        countermodel_nodes=countermodel_nodes,
-        typed_search_limit=typed_search_limit,
-        max_respawns=max_respawns,
-        fault_plan=inject,
-        execution=execution,
-    )
+    if bypass is not None:
+        result.cache = bypass
+    elif form is not None and cache is not None:
+        result.cache = _store_fresh(cache, form, result)
     return _reconcile_with_table1(result, problem_class, problem.context)

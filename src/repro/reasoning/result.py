@@ -146,6 +146,10 @@ class ImplicationResult:
     #: (:class:`repro.reasoning.costmodel.ExecutionDecision`); None for
     #: decidable cells, which never touch the portfolio.
     execution: Any = None
+    #: How the implication cache participated in this solve
+    #: (:class:`repro.reasoning.cache.CacheInfo`); None when no cache
+    #: was passed to :func:`repro.reasoning.solve`.
+    cache: Any = None
 
     @property
     def implied(self) -> bool:
@@ -169,6 +173,8 @@ class ImplicationResult:
             )
         if self.execution is not None:
             parts.append(f"execution[{self.execution.describe()}]")
+        if self.cache is not None:
+            parts.append(f"cache[{self.cache.describe()}]")
         for engine in self.stats:
             parts.append(f"engine[{engine.describe()}]")
         if not self.faults.clean:

@@ -14,6 +14,16 @@ from repro.types.examples import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_cache_dir(tmp_path, monkeypatch):
+    """Point the implication cache's env-resolved directory at a
+    per-test tmp dir so CLI invocations never read or pollute the
+    user's real ``~/.cache/repro`` (library ``solve()`` only caches
+    when handed an explicit ``ImplicationCache``, so this only affects
+    code going through ``resolve_cache_dir``)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def fig1():
     """The Figure 1 bibliography graph."""

@@ -1,0 +1,239 @@
+"""Alpha-invariance and collision resistance of the canonical keys.
+
+The cache's whole correctness story rests on two properties of
+``canonicalize_instance``:
+
+* *invariance*: any bijective renaming of the non-rigid alphabet
+  (labels, and class names in typed contexts) plus any reordering or
+  duplication of premises yields the identical key;
+* *separation*: instances that are **not** alpha-equivalent get
+  distinct keys — checked here by demanding a concrete witness
+  bijection for every key collision in a generator sweep.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.constraints.ast import backward, forward, word
+from repro.diffcheck.generators import FRAGMENT_GENERATORS, generate_instance
+from repro.reasoning.canonical import (
+    DEFAULT_SEARCH_CAP,
+    canonicalize_instance,
+    canonicalize_problem,
+    rename_constraint,
+    rename_schema,
+)
+from repro.reasoning.dispatcher import Context, ImplicationProblem
+from repro.types.typesys import MEMBERSHIP_LABEL, RecordType
+
+
+def _instance_labels(instance):
+    """The renameable label universe of a generated instance."""
+    labels = set(instance.phi.alphabet())
+    for psi in instance.sigma:
+        labels |= psi.alphabet()
+    if instance.schema is not None:
+        for tau in instance.schema.all_types():
+            if isinstance(tau, RecordType):
+                labels.update(label for label, _ in tau.fields)
+        labels.discard(MEMBERSHIP_LABEL)
+    return sorted(labels)
+
+
+def _random_bijections(instance, rng):
+    """A random label bijection (to fresh names) and class bijection."""
+    labels = _instance_labels(instance)
+    fresh = [f"x{i}_{rng.randint(0, 999)}" for i in range(len(labels))]
+    rng.shuffle(fresh)
+    label_map = dict(zip(labels, fresh))
+    class_map = {}
+    if instance.schema is not None:
+        names = sorted(instance.schema.class_names)
+        targets = [f"Z{i}_{rng.randint(0, 999)}" for i in range(len(names))]
+        rng.shuffle(targets)
+        class_map = dict(zip(names, targets))
+    return label_map, class_map
+
+
+def _renamed_problem(instance, label_map, class_map, rng):
+    """An alpha-variant: renamed, premises shuffled and one duplicated."""
+    sigma = [rename_constraint(psi, label_map) for psi in instance.sigma]
+    if sigma:
+        sigma.append(rng.choice(sigma))  # duplication must not matter
+    rng.shuffle(sigma)
+    schema = instance.schema
+    if schema is not None:
+        schema = rename_schema(schema, label_map, class_map)
+    return ImplicationProblem(
+        sigma,
+        rename_constraint(instance.phi, label_map),
+        instance.context,
+        schema=schema,
+    )
+
+
+class TestAlphaInvariance:
+    @pytest.mark.parametrize("fragment", sorted(FRAGMENT_GENERATORS))
+    def test_permuted_instance_keys_identical(self, fragment):
+        """Random renaming + premise shuffle never changes the key."""
+        rng = random.Random(1234)
+        for index in range(8):
+            instance = generate_instance(fragment, seed=7, index=index)
+            base = canonicalize_problem(
+                ImplicationProblem(
+                    instance.sigma,
+                    instance.phi,
+                    instance.context,
+                    schema=instance.schema,
+                )
+            )
+            if base.fallback:
+                continue  # capped search is deterministic, not invariant
+            for _ in range(5):
+                label_map, class_map = _random_bijections(instance, rng)
+                variant = canonicalize_problem(
+                    _renamed_problem(instance, label_map, class_map, rng)
+                )
+                assert variant.key == base.key, (
+                    f"{fragment}[{index}]: renaming changed the key\n"
+                    f"map={label_map}/{class_map}\n"
+                    f"base:\n{base.text}\nvariant:\n{variant.text}"
+                )
+
+    def test_premise_order_and_duplication(self):
+        sigma = [word(("a",), ("b",)), word(("b", "b"), ("c",))]
+        phi = word(("a", "b"), ("c",))
+        k1 = canonicalize_instance(sigma, phi).key
+        k2 = canonicalize_instance(list(reversed(sigma)) + [sigma[0]], phi).key
+        assert k1 == k2
+
+    def test_membership_label_is_rigid(self, fs_schema):
+        """Renaming must never alias another label onto ``member``."""
+        sigma = [forward((), (MEMBERSHIP_LABEL,), (MEMBERSHIP_LABEL,))]
+        phi = forward((), (MEMBERSHIP_LABEL,), (MEMBERSHIP_LABEL,))
+        form = canonicalize_instance(
+            sigma, phi, context_value="M", schema=fs_schema
+        )
+        assert form.label_map[MEMBERSHIP_LABEL] == f"!{MEMBERSHIP_LABEL}"
+
+    def test_unused_schema_ignored_in_semistructured_context(self, fs_schema):
+        sigma = (word(("a",), ("b",)),)
+        phi = word(("a",), ("b",))
+        bare = canonicalize_problem(ImplicationProblem(sigma, phi))
+        with_schema = canonicalize_problem(
+            ImplicationProblem(sigma, phi, schema=fs_schema)
+        )
+        assert bare.key == with_schema.key
+
+    def test_context_is_part_of_the_key(self, fs_schema):
+        sigma = (forward((), ("a",), ("b",)),)
+        phi = forward((), ("a",), ("b",))
+        untyped = canonicalize_problem(ImplicationProblem(sigma, phi))
+        typed = canonicalize_problem(
+            ImplicationProblem(sigma, phi, Context.M_PLUS, schema=fs_schema)
+        )
+        assert untyped.key != typed.key
+
+
+class TestSeparation:
+    def test_direction_changes_key(self):
+        fwd = canonicalize_instance(
+            [forward(("K",), ("a",), ("b",))], forward(("K",), ("b",), ("a",))
+        )
+        bwd = canonicalize_instance(
+            [backward(("K",), ("a",), ("b",))], forward(("K",), ("b",), ("a",))
+        )
+        assert fwd.key != bwd.key
+
+    def test_collision_sweep_with_witness(self):
+        """Every key collision in a generator sweep must be witnessed
+        by an explicit alpha-equivalence bijection."""
+        seen: dict[str, tuple] = {}
+        for fragment in sorted(FRAGMENT_GENERATORS):
+            for seed in (0, 1):
+                for index in range(10):
+                    inst = generate_instance(fragment, seed, index)
+                    problem = ImplicationProblem(
+                        inst.sigma, inst.phi, inst.context, schema=inst.schema
+                    )
+                    form = canonicalize_problem(problem)
+                    if form.fallback:
+                        continue
+                    if form.key not in seen:
+                        seen[form.key] = (problem, form)
+                        continue
+                    other_problem, other_form = seen[form.key]
+                    assert _alpha_equivalent(
+                        problem, form, other_problem, other_form
+                    ), (
+                        f"key collision without alpha-equivalence:\n"
+                        f"{form.text}\n--- vs ---\n{other_form.text}"
+                    )
+        assert len(seen) > 50  # the sweep actually separated instances
+
+
+def _alpha_equivalent(p1, f1, p2, f2) -> bool:
+    """Does ``f2^-1 . f1`` witness p1 ~ p2 (premises as sets)?"""
+    inv_l = f2.inverse_label_map()
+    inv_c = f2.inverse_class_map()
+    try:
+        lmap = {orig: inv_l[canon] for orig, canon in f1.label_map.items()}
+        cmap = {orig: inv_c[canon] for orig, canon in f1.class_map.items()}
+    except KeyError:
+        return False
+    if {rename_constraint(psi, lmap) for psi in p1.sigma} != set(p2.sigma):
+        return False
+    if rename_constraint(p1.phi, lmap) != p2.phi:
+        return False
+    schema1 = p1.schema if p1.context is not Context.SEMISTRUCTURED else None
+    schema2 = p2.schema if p2.context is not Context.SEMISTRUCTURED else None
+    if (schema1 is None) != (schema2 is None):
+        return False
+    if schema1 is not None:
+        renamed = rename_schema(schema1, lmap, cmap)
+        if sorted(renamed.class_names) != sorted(schema2.class_names):
+            return False
+        if renamed.db_type != schema2.db_type:
+            return False
+        for name in renamed.class_names:
+            if renamed.body_of(name) != schema2.body_of(name):
+                return False
+    return p1.context is p2.context
+
+
+class TestFallback:
+    def test_symmetric_blowup_falls_back_deterministically(self):
+        """9 interchangeable labels exceed the 7! cap; the key must
+        still be reproducible for the *same* instance."""
+        sigma = [word((f"l{i}",), (f"l{i}",)) for i in range(9)]
+        phi = word(("l0",), ("l0",))
+        a = canonicalize_instance(sigma, phi)
+        b = canonicalize_instance(sigma, phi)
+        assert a.fallback and b.fallback
+        assert a.key == b.key
+
+    def test_cap_is_respected_but_raisable(self):
+        sigma = [word((f"l{i}",), (f"l{i}",)) for i in range(6)]
+        phi = word(("m",), ("m",))
+        capped = canonicalize_instance(sigma, phi, search_cap=10)
+        full = canonicalize_instance(
+            sigma, phi, search_cap=DEFAULT_SEARCH_CAP
+        )
+        assert capped.fallback and not full.fallback
+
+    def test_raised_cap_restores_invariance(self):
+        rng = random.Random(5)
+        sigma = [word((f"l{i}",), (f"l{i}",)) for i in range(5)]
+        phi = word(("m",), ("m",))
+        base = canonicalize_instance(sigma, phi)
+        assert not base.fallback  # 5 symmetric labels: 120 < 5040
+        names = [f"l{i}" for i in range(5)]
+        shuffled = names[:]
+        rng.shuffle(shuffled)
+        mapping = dict(zip(names, shuffled))
+        renamed = [rename_constraint(psi, mapping) for psi in sigma]
+        rng.shuffle(renamed)
+        assert canonicalize_instance(renamed, phi).key == base.key
