@@ -71,3 +71,32 @@ print(
     f"flips={cc['flips']}: cache regression gate ok"
 )
 EOF
+
+# Server-regression gate: closed-loop p99 must stay under the bound
+# recorded by the benchmark, renamed-duplicate dedup must actually
+# coalesce, and injected faults must never flip a verdict over the
+# wire.
+python - <<'EOF'
+import json
+
+bench = json.load(open("BENCH_server.json"))
+load, dedup, inject = bench["load"], bench["dedup"], bench["inject"]
+worst_p99 = max(level["p99_ms"] for level in load["levels"])
+assert worst_p99 < load["p99_bound_ms"], (
+    f"server gate: p99 {worst_p99}ms above {load['p99_bound_ms']}ms"
+)
+assert dedup["hit_rate"] > 0, "server gate: dedup hit rate is zero"
+assert dedup["solves"] < dedup["requests"], (
+    f"server gate: {dedup['solves']} solves for {dedup['requests']} "
+    "requests -- single-flight never coalesced"
+)
+assert inject["faulted_runs"] > 0, "server gate: injection never fired"
+assert inject["flips"] == 0, (
+    f"server gate: {inject['flips']} verdict flips under injection"
+)
+print(
+    f"p99={worst_p99}ms dedup_hit_rate={dedup['hit_rate']:.0%} "
+    f"faulted_runs={inject['faulted_runs']} flips={inject['flips']}: "
+    "server regression gate ok"
+)
+EOF

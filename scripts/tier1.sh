@@ -44,4 +44,61 @@ python -m repro imply "$sigma_file" 'K :: a => ()' \
     --cache-dir "$cache_dir" | grep 'cache: *hit'
 python -m repro cache stats --cache-dir "$cache_dir"
 
+# Server smoke: daemon up on a free port, one query answered over the
+# wire, the repeat served from the daemon's shared cache, then SIGTERM
+# while a deliberately slow request is in flight.  A clean drain means
+# the in-flight solve still gets its answer (client exits 0) and the
+# daemon exits 0 — never killing admitted work.
+port_file="$(mktemp)"
+server_cache="$(mktemp -d)"
+trap 'rm -f "$sigma_file" "$port_file"; \
+    rm -rf "$cache_dir" "$server_cache"; \
+    kill "${server_pid:-}" 2>/dev/null || true' EXIT
+python -m repro serve --port 0 --port-file "$port_file" \
+    --cache-dir "$server_cache" --allow-delay &
+server_pid=$!
+tries=0
+while [ ! -s "$port_file" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || { echo "server never bound a port"; exit 1; }
+    sleep 0.1
+done
+server_addr="127.0.0.1:$(cat "$port_file")"
+python -m repro imply "$sigma_file" 'K :: a => ()' --server "$server_addr"
+python -m repro imply "$sigma_file" 'K :: a => ()' --server "$server_addr" \
+    | grep 'cache: *hit'
+ready_file="$port_file.ready"
+python - "$server_addr" "$ready_file" <<'EOF' &
+import pathlib
+import sys
+
+from repro.server import ServerClient, parse_host_port
+
+host, port = parse_host_port(sys.argv[1])
+with ServerClient(host, port, timeout=60) as client:
+    assert client.health()["status"] == "ok"
+    # The marker tells the shell the connection is live and the slow
+    # request is about to hit the wire; SIGTERM then lands mid-flight.
+    pathlib.Path(sys.argv[2]).touch()
+    response = client.imply(
+        ["() => K", "K :: () => a.a.a", "K :: a.a.a => ()", "a :: a => a"],
+        "K :: a => ()",
+        delay_ms=800,
+    )
+assert response["status"] == "ok", response
+assert response["answer"] == "false", response
+EOF
+client_pid=$!
+tries=0
+while [ ! -e "$ready_file" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || { echo "drain client never connected"; exit 1; }
+    sleep 0.1
+done
+sleep 0.2
+kill -TERM "$server_pid"
+wait "$client_pid"
+wait "$server_pid"
+rm -f "$ready_file"
+
 exec python -m pytest -x -q "$@"

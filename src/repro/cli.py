@@ -22,6 +22,15 @@ Commands
     and stored to the cross-request implication cache
     (``--cache-dir``/``$REPRO_CACHE_DIR``, default ``~/.cache/repro``;
     ``--no-cache`` bypasses it).
+    With ``--server HOST:PORT`` the query is sent to a running
+    ``repro serve`` daemon instead of being solved in-process.
+``serve [--host H] [--port P] [--max-queue N] [--solver-threads N]``
+    Run the long-lived implication server: a JSON-lines protocol
+    (``imply``/``check``/``health``/``stats``/``shutdown``) with
+    bounded-queue admission control, single-flight deduplication of
+    alpha-equivalent concurrent queries, and graceful SIGTERM drain
+    (in-flight work finishes, new work is refused, the warm pool is
+    retired).  See :mod:`repro.server`.
 ``cache stats|clear [--cache-dir DIR]``
     Inspect (entries, bytes, lifetime hit/miss/store counters) or
     empty the on-disk implication cache.
@@ -147,7 +156,96 @@ def _build_cache(args: argparse.Namespace) -> ImplicationCache | None:
     )
 
 
+def _cmd_imply_remote(args: argparse.Namespace) -> int:
+    """``imply --server HOST:PORT``: route the query to a daemon.
+
+    Constraint files are read locally but parsed server-side; the
+    response carries the answer, fragment, faults and cache record
+    over the wire.  The exit-code contract is preserved: 0 definite,
+    2 UNKNOWN/rejected, 3 error (including overloaded after retries
+    and draining).
+    """
+    from repro.errors import ServerUnavailable
+    from repro.server import ServerClient, parse_host_port
+
+    host, port = parse_host_port(args.server)
+    sigma_lines = FilePath(args.constraints).read_text().splitlines()
+    budget_ms = (
+        None if args.deadline is None else int(args.deadline * 1000)
+    )
+    schema_text = (
+        FilePath(args.schema).read_text() if args.schema else None
+    )
+    jobs = _parse_jobs(args.jobs)
+    try:
+        with ServerClient(host, port) as client:
+            response = client.imply(
+                sigma_lines,
+                args.query,
+                context=args.context,
+                schema=schema_text,
+                budget_ms=budget_ms,
+                jobs=None if jobs == 1 else jobs,
+            )
+    except ServerUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    status = response["status"]
+    if status == "draining":
+        print("error: server is draining", file=sys.stderr)
+        return 3
+    if status == "error":
+        print(f"error: {response.get('error')}", file=sys.stderr)
+        return 3
+    if status == "rejected":
+        print("answer:     unknown")
+        print(f"rejected:   {response.get('reason')}")
+        return 2
+    print(f"answer:     {response['answer']}")
+    print(f"method:     {response['method']}")
+    cell = (
+        f"decidable ({response['complexity']})"
+        if response["decidable"]
+        else "undecidable"
+    )
+    print(
+        f"fragment:   {response['fragment']}  "
+        f"[{response['context']}: {cell}]"
+    )
+    dedup = response.get("dedup")
+    if dedup:
+        print(f"dedup:      {dedup['role']}")
+    cache = response.get("cache")
+    if cache:
+        print(f"cache:      {cache['status']} {cache.get('tier', '')}")
+    faults = response.get("faults") or {}
+    if faults.get("events"):
+        described = ", ".join(
+            f"{e['kind']}@{e['engine']}" for e in faults["events"]
+        )
+        print(f"faults:     {described}")
+    for note in response.get("notes", ()):
+        print(f"note:       {note}")
+    countermodel = response.get("countermodel")
+    if countermodel is not None:
+        hint = (
+            ""
+            if args.dump_countermodel
+            else " (use --dump-countermodel to save)"
+        )
+        print(
+            f"countermodel: {len(countermodel['nodes'])} nodes{hint}"
+        )
+        if args.dump_countermodel:
+            with open(args.dump_countermodel, "w") as handle:
+                json.dump(countermodel, handle, indent=2)
+            print(f"  written to {args.dump_countermodel}")
+    return 0 if response["answer"] in ("true", "false") else 2
+
+
 def _cmd_imply(args: argparse.Namespace) -> int:
+    if args.server:
+        return _cmd_imply_remote(args)
     sigma = _load_constraints(args.constraints)
     phi = parse_constraint(args.query)
     context = Context(args.context)
@@ -272,6 +370,40 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     noun = "entry" if removed == 1 else "entries"
     print(f"cleared {removed} {noun} from {cache.disk.root}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import ImplicationServer, ServerConfig
+
+    inject = None
+    if args.inject:
+        from repro.reasoning.faultinject import FaultPlan
+
+        inject = FaultPlan.from_spec(args.inject)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        solver_threads=args.solver_threads,
+        jobs=_parse_jobs(args.jobs),
+        max_respawns=args.max_respawns,
+        default_budget_ms=(
+            None if args.deadline is None else int(args.deadline * 1000)
+        ),
+        cache=_build_cache(args),
+        inject=inject,
+        allow_delay=args.allow_delay,
+        port_file=args.port_file,
+    )
+    server = ImplicationServer(config)
+
+    def announce(message: str) -> None:
+        print(message, flush=True)
+
+    try:
+        return server.run(announce=announce)
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler gap
+        return 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -402,7 +534,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk cache location (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro)",
     )
+    p.add_argument(
+        "--server",
+        metavar="HOST:PORT",
+        help="send the query to a running `repro serve` daemon "
+        "instead of solving locally",
+    )
     p.set_defaults(func=_cmd_imply)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the implication server daemon (JSON-lines protocol)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8747,
+        help="TCP port (0 = pick a free one; see --port-file)",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded admission queue size; beyond it requests are "
+        "shed with an overloaded response",
+    )
+    p.add_argument(
+        "--solver-threads",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent solves (each may use the process pool "
+        "underneath per --jobs)",
+    )
+    p.add_argument(
+        "--jobs",
+        default="auto",
+        metavar="N|auto",
+        help="per-solve parallelism cap (cost-model dispatch)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request budget when the client sends none",
+    )
+    p.add_argument("--max-respawns", type=int, default=2, metavar="N")
+    p.add_argument(
+        "--inject",
+        metavar="SPEC",
+        help="deterministic fault injection for every solve "
+        "(testing instrument; disables single-flight dedup and "
+        "cache lookups)",
+    )
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument("--cache-dir", metavar="DIR")
+    p.add_argument(
+        "--port-file",
+        metavar="FILE",
+        help="write the bound port here after startup (atomically)",
+    )
+    p.add_argument(
+        "--allow-delay",
+        action="store_true",
+        help="honor the delay_ms request field (testing instrument "
+        "for queue/drain behavior)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "cache",

@@ -107,6 +107,29 @@ class InjectedFault(RuntimeFaultError):
     """
 
 
+class ProtocolError(ReproError, ValueError):
+    """A server request or response violated the wire protocol.
+
+    Raised for unparseable frames, unsupported protocol versions,
+    unknown operations and oversized lines — always before any solver
+    work starts, so a malformed client can never wedge the daemon.
+    """
+
+
+class ServerUnavailable(ReproError):
+    """The implication server refused or could not take the request.
+
+    Client-side: raised after retries are exhausted against an
+    overloaded server, when the server is draining, or when the
+    connection cannot be established at all.  ``retry_after_ms``
+    carries the server's backpressure hint when one was given.
+    """
+
+    def __init__(self, message: str, retry_after_ms: int | None = None):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
 class IncompleteFragmentError(ReproError):
     """The instance falls outside a decider's guaranteed-complete
     fragment and every sound fallback was indefinite.

@@ -32,6 +32,7 @@ refutation.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
@@ -40,6 +41,11 @@ import time
 import warnings
 from collections import OrderedDict
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 #: Entry format version (bump on incompatible entry layout changes).
 SCHEMA_VERSION = 1
@@ -372,7 +378,7 @@ class _DiskTier:
                         bucket.rmdir()
                     except OSError:
                         continue
-                elif bucket.name == "counters.json":
+                elif bucket.name in ("counters.json", "counters.lock"):
                     try:
                         bucket.unlink()
                     except OSError:
@@ -389,37 +395,96 @@ class _DiskTier:
     def _counters_path(self) -> Path:
         return self.directory / "counters.json"
 
+    @property
+    def _counters_lock_path(self) -> Path:
+        return self.directory / "counters.lock"
+
+    @contextlib.contextmanager
+    def _counters_locked(self):
+        """Serialize counter read-modify-write across processes.
+
+        An ``flock`` on a sidecar lock file (never the data file —
+        replacing a locked file would silently break the lock)
+        makes concurrent folds exact instead of last-writer-wins.
+        Platforms without ``fcntl`` degrade to the old best-effort
+        behavior: increments may be dropped under a race, never
+        corrupted (writes stay atomic either way).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        with open(self._counters_lock_path, "a+") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     def read_counters(self) -> dict:
+        """The lifetime counters; a torn/corrupt file resets to zero.
+
+        A damaged counters file (torn concurrent write from a
+        pre-lock version, disk-full truncation, manual editing) is
+        an observability loss, not an error condition: warn and
+        start the tallies over rather than crash a solve or the
+        ``cache stats`` command.
+        """
+        zeros = {"hits": 0, "misses": 0, "stores": 0}
         try:
-            data = json.loads(self._counters_path.read_text())
+            raw = self._counters_path.read_text()
+        except FileNotFoundError:
+            return zeros
+        except OSError as exc:
+            warnings.warn(
+                f"implication cache: unreadable counters file "
+                f"{self._counters_path}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return zeros
+        try:
+            data = json.loads(raw)
+            if not isinstance(data, dict):
+                raise ValueError("counters file is not an object")
             return {
                 "hits": int(data.get("hits", 0)),
                 "misses": int(data.get("misses", 0)),
                 "stores": int(data.get("stores", 0)),
             }
-        except (OSError, ValueError, TypeError):
-            return {"hits": 0, "misses": 0, "stores": 0}
+        except (ValueError, TypeError) as exc:
+            warnings.warn(
+                f"implication cache: torn/corrupt counters file "
+                f"{self._counters_path} ({exc}); resetting to zero",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return zeros
 
     def add_counters(self, hits: int, misses: int, stores: int) -> None:
         """Fold per-process tallies into the on-disk counters.
 
-        Read-modify-write with an atomic replace: concurrent updates
-        may drop increments (documented best-effort), never corrupt.
+        Safe under concurrent connections: the read-modify-write runs
+        under :meth:`_counters_locked`, and the write itself is the
+        same ``mkstemp`` + atomic-rename pattern as entry writes, so
+        readers never observe a torn file.
         """
         if not (hits or misses or stores):
             return
-        current = self.read_counters()
-        current["hits"] += hits
-        current["misses"] += misses
-        current["stores"] += stores
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=self.directory, prefix=".repro-counters-", suffix=".tmp"
-            )
-            with os.fdopen(fd, "w") as handle:
-                json.dump(current, handle)
-            os.replace(tmp, self._counters_path)
+            with self._counters_locked():
+                current = self.read_counters()
+                current["hits"] += hits
+                current["misses"] += misses
+                current["stores"] += stores
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.directory,
+                    prefix=".repro-counters-",
+                    suffix=".tmp",
+                )
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(current, handle)
+                os.replace(tmp, self._counters_path)
         except OSError:
             pass
 

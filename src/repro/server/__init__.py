@@ -1,0 +1,42 @@
+"""The constraint-implication server: a long-lived daemon multiplexing
+implication queries onto the portfolio runtime.
+
+The ROADMAP's production-scale north star needs more than a fast
+``solve()`` — it needs the robustness machinery (supervised pools,
+monotonic budgets, the cross-request cache) to compose under
+*concurrent* load.  This package provides that composition point:
+
+* :mod:`repro.server.protocol` — the versioned JSON-lines wire format
+  (``imply``/``check``/``health``/``stats``/``shutdown`` requests);
+* :mod:`repro.server.singleflight` — canonical-key request coalescing:
+  concurrent alpha-equivalent queries share one solve, with followers'
+  certificates renamed back into their own alphabets;
+* :mod:`repro.server.daemon` — the asyncio server itself: bounded
+  admission queue with explicit load-shedding, client-budget deadline
+  propagation, graceful SIGTERM drain, warm-pool and cache sharing
+  across connections;
+* :mod:`repro.server.client` — a blocking client library with
+  timeouts, capped-exponential retry with jitter, and honest fault
+  surfacing (``result.faults`` travels over the wire).
+
+The connection/drain discipline follows EdgeDB's server (bounded
+queues, drain-then-exit) and Twisted's service idioms (one reactor,
+explicit lifecycle); deduplication leans on the
+containment-under-constraints observation (Calvanese-De
+Giacomo-Lenzerini) that an implication verdict is a pure function of
+the instance's structure.
+"""
+
+from repro.server.client import ServerClient, parse_host_port
+from repro.server.daemon import ImplicationServer, ServerConfig
+from repro.server.protocol import PROTOCOL_VERSION
+from repro.server.singleflight import SingleFlightTable
+
+__all__ = [
+    "ImplicationServer",
+    "PROTOCOL_VERSION",
+    "ServerClient",
+    "ServerConfig",
+    "SingleFlightTable",
+    "parse_host_port",
+]

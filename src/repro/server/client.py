@@ -1,0 +1,213 @@
+"""Blocking client for the implication server.
+
+One socket, JSON lines, request/response in lockstep.  The client is
+deliberately boring — a handful of sockets calls any language could
+replicate — with the robustness knobs a production caller needs:
+
+* **timeouts** on connect and on every response read (a wedged server
+  can never hang the caller);
+* **capped exponential retry with jitter** on connection failures and
+  ``overloaded`` responses (honoring the server's ``retry_after_ms``
+  hint when it is larger than the local backoff);
+* **honest surfacing**: ``draining``/``rejected``/``error`` responses
+  are returned (or raised) as-is, and a solved answer's ``faults``
+  record travels through untouched — a degraded UNKNOWN looks exactly
+  as suspicious remotely as it does locally.
+
+Jitter uses a dedicated :class:`random.Random` (optionally seeded) so
+retry storms decorrelate in production while tests stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from typing import Any
+
+from repro.errors import ProtocolError, ServerUnavailable
+from repro.server import protocol
+
+
+def parse_host_port(text: str) -> tuple[str, int]:
+    """``HOST:PORT`` for ``--server``; raises ``ValueError``."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"--server expects HOST:PORT, got {text!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"--server port must be an integer, got {port_text!r}"
+        ) from None
+    if not 0 < port < 65536:
+        raise ValueError(f"--server port {port} out of range")
+    return host, port
+
+
+class ServerClient:
+    """A connection to one implication server.
+
+    Reusable and reconnecting: the socket is opened lazily, kept for
+    request pipelining, and torn down + retried on any transport
+    error.  Not thread-safe; use one client per thread (the load
+    generator in ``benchmarks/test_bench_server.py`` does exactly
+    that).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        jitter_seed: int | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(jitter_seed)
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._next_id = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _ensure_connected(self) -> None:
+        if self._sock is not None:
+            return
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rb")
+
+    # -- the request loop ---------------------------------------------
+
+    def _backoff(self, attempt: int, floor_ms: int | None = None) -> None:
+        delay = min(
+            self.backoff_cap, self.backoff_base * (2**attempt)
+        )
+        # Full jitter on the exponential term decorrelates retry
+        # storms; the server's retry_after hint acts as a floor.
+        delay *= 0.5 + self._rng.random() / 2
+        if floor_ms is not None:
+            delay = max(delay, floor_ms / 1e3)
+        time.sleep(delay)
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """One round trip; returns the response frame as a dict.
+
+        Transport failures and ``overloaded`` responses are retried
+        (capped exponential backoff with jitter); anything else —
+        including ``draining``, ``rejected`` and ``error`` — is
+        returned to the caller, whose policy it is.  Raises
+        :class:`ServerUnavailable` when every attempt failed.
+        """
+        self._next_id += 1
+        frame = {
+            "v": protocol.PROTOCOL_VERSION,
+            "op": op,
+            "id": self._next_id,
+        }
+        frame.update(
+            {k: v for k, v in fields.items() if v is not None}
+        )
+        payload = protocol.encode(frame)
+        last_error: Exception | None = None
+        retry_after: int | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self._backoff(attempt - 1, floor_ms=retry_after)
+                retry_after = None
+            try:
+                self._ensure_connected()
+                assert self._sock is not None and self._file is not None
+                self._sock.sendall(payload)
+                line = self._file.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                response = protocol.parse_response(line)
+            except (OSError, ProtocolError, ConnectionError) as exc:
+                last_error = exc
+                self.close()
+                continue
+            if response["status"] == "overloaded":
+                last_error = ServerUnavailable(
+                    "server overloaded",
+                    retry_after_ms=response.get("retry_after_ms"),
+                )
+                retry_after = response.get("retry_after_ms")
+                continue
+            return response
+        raise ServerUnavailable(
+            f"{op} request to {self.host}:{self.port} failed after "
+            f"{self.retries + 1} attempt(s): {last_error}",
+            retry_after_ms=retry_after,
+        )
+
+    # -- typed helpers ------------------------------------------------
+
+    def imply(
+        self,
+        sigma: list[str],
+        phi: str,
+        context: str = "semistructured",
+        schema: str | None = None,
+        budget_ms: int | None = None,
+        jobs: int | str | None = None,
+        no_dedup: bool = False,
+        delay_ms: int | None = None,
+    ) -> dict:
+        return self.request(
+            "imply",
+            sigma=list(sigma),
+            phi=phi,
+            context=context,
+            schema=schema,
+            budget_ms=budget_ms,
+            jobs=jobs,
+            no_dedup=no_dedup or None,
+            delay_ms=delay_ms,
+        )
+
+    def check(self, graph: dict, constraints: list[str]) -> dict:
+        return self.request(
+            "check", graph=graph, constraints=list(constraints)
+        )
+
+    def health(self) -> dict:
+        return self.request("health")
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain (the remote SIGTERM)."""
+        return self.request("shutdown")

@@ -1,0 +1,748 @@
+"""The asyncio implication daemon: ``repro serve``.
+
+One process, one event loop, a bounded admission queue, a small pool
+of solver threads, and the process-wide warm worker pool underneath —
+the composition point where the library's robustness machinery
+(supervised pools, monotonic budgets, the cross-request cache) meets
+concurrent load.  The design follows EdgeDB's server discipline
+(bounded queues and explicit shedding instead of unbounded buffering;
+drain-then-exit) and Twisted's one-reactor service idiom.
+
+Robustness properties, in order of the request path:
+
+* **Admission control.**  ``imply``/``check`` work enters a bounded
+  queue; when it is full the request is *shed* with an explicit
+  ``overloaded`` response carrying ``retry_after_ms`` — the daemon
+  never buffers unboundedly.  A client budget (``budget_ms``) becomes
+  an absolute monotonic deadline at admission: a request whose budget
+  provably cannot survive the estimated queue wait is rejected up
+  front, and one whose deadline expires *while queued* is rejected at
+  dequeue with an honest UNKNOWN — never solved against a dead budget,
+  never answered with a stale definite verdict.
+* **Single-flight dedup.**  Concurrent requests with the same
+  canonical key coalesce onto one solve
+  (:mod:`repro.server.singleflight`); followers get the leader's
+  outcome with certificates renamed into their own alphabets.
+  Disabled under fault injection (an injected run's purpose is to
+  exercise the runtime, so every request must run) and per-request via
+  ``no_dedup``.
+* **Graceful drain.**  SIGTERM, SIGINT or a ``shutdown`` request moves
+  the server to ``draining``: admitted work (queued and in-flight)
+  completes and is answered, new work is refused with a ``draining``
+  status, ``health``/``stats`` keep answering, and once the queue is
+  empty the daemon retires the warm pool, flushes cache counters, and
+  exits 0 under the established exit-code contract.
+
+Faults never hide: ``result.faults`` (including injected ones) travels
+over the wire verbatim, so a degraded answer is as auditable remotely
+as locally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import functools
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.checking import check_all
+from repro.constraints import parse_constraint, parse_constraints
+from repro.errors import GraphError, ProtocolError, ReproError
+from repro.graph.serialize import from_dict as graph_from_dict
+from repro.graph.serialize import to_dict as graph_to_dict
+from repro.reasoning import (
+    ImplicationProblem,
+    classify,
+    solve,
+)
+from repro.reasoning.cache import ImplicationCache
+from repro.reasoning.canonical import (
+    CanonicalForm,
+    canonicalize_problem,
+    rename_graph,
+)
+from repro.reasoning.faultinject import FaultPlan
+from repro.reasoning.runtime import retire_warm_pool, warm_pool_stats
+from repro.server import protocol
+from repro.server.singleflight import FlightOutcome, SingleFlightTable
+
+#: Prior for the queue-wait estimator before any solve has completed.
+#: Deliberately small: an idle server should not shed its first
+#: requests on a pessimistic guess.
+_EWMA_PRIOR_S = 0.02
+
+#: Exponential-moving-average weight of the newest solve time.
+_EWMA_ALPHA = 0.2
+
+#: How long ``stop()`` waits for connection handlers to flush their
+#: final responses before cancelling them.
+_FLUSH_GRACE_S = 0.25
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_queue: int = 64
+    solver_threads: int = 2
+    jobs: int | str = "auto"
+    max_respawns: int = 2
+    #: Default per-request budget applied when the client sends none
+    #: (``None`` = unlimited, the library default).
+    default_budget_ms: int | None = None
+    cache: ImplicationCache | None = None
+    inject: FaultPlan | None = None
+    #: Honor the ``delay_ms`` request field (testing instrument for
+    #: queue/drain behavior, like ``--inject`` is for fault paths).
+    allow_delay: bool = False
+    #: Write the bound port here after startup (atomic), for smoke
+    #: tests and supervisors that start the daemon on port 0.
+    port_file: str | None = None
+
+
+@dataclass
+class _Admitted:
+    """One unit of work that passed admission control."""
+
+    op: str
+    solve_fn: Callable[[], FlightOutcome]
+    deadline: float | None = None
+    key: str | None = None
+    future: "asyncio.Future[FlightOutcome] | None" = None
+    admitted_at: float = 0.0
+
+
+class ImplicationServer:
+    """The daemon.  ``run()`` is the blocking entry point; ``start``/
+    ``stop`` are the asyncio lifecycle for embedding (tests run it in
+    a background thread with its own loop)."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.state = "idle"  # idle -> serving -> draining -> stopped
+        self.port: int | None = None
+        self._started_at = 0.0
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue[_Admitted] | None = None
+        self._flights = SingleFlightTable()
+        self._workers: list[asyncio.Task] = []
+        self._connections: set[asyncio.Task] = set()
+        self._drain_event: asyncio.Event | None = None
+        self._executor = None
+        self._ewma_solve_s: float | None = None
+        self.counters = {
+            "requests": 0,
+            "imply": 0,
+            "check": 0,
+            "health": 0,
+            "stats": 0,
+            "shutdown": 0,
+            "solved": 0,
+            "errors": 0,
+            "shed": 0,
+            "rejected_upfront": 0,
+            "rejected_deadline": 0,
+            "dedup_followers": 0,
+            "drain_refusals": 0,
+            "protocol_errors": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------
+
+    def run(self, announce: Callable[[str], None] | None = None) -> int:
+        """Start, serve until drained, stop.  Returns the exit code
+        (0 = clean drain) under the CLI's exit-code contract."""
+        return asyncio.run(self._amain(announce))
+
+    async def _amain(self, announce: Callable[[str], None] | None) -> int:
+        await self.start()
+        if announce is not None:
+            announce(
+                f"repro-server listening on "
+                f"{self.config.host}:{self.port} (pid {os.getpid()})"
+            )
+        try:
+            await self.wait_drained()
+        finally:
+            await self.stop()
+        return 0
+
+    async def start(self) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.max_queue)
+        self._drain_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.solver_threads,
+            thread_name_prefix="repro-solve",
+        )
+        self._workers = [
+            loop.create_task(self._worker())
+            for _ in range(self.config.solver_threads)
+        ]
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.config.host,
+            self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        self.state = "serving"
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            # In a background-thread loop (tests) signal handlers are
+            # unavailable; drain is then driven by the shutdown op.
+            with contextlib.suppress(
+                NotImplementedError, RuntimeError, ValueError
+            ):
+                loop.add_signal_handler(signum, self.initiate_drain)
+        if self.config.port_file:
+            self._write_port_file(self.config.port_file, self.port)
+
+    @staticmethod
+    def _write_port_file(path: str, port: int) -> None:
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".repro-port-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(f"{port}\n")
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    def initiate_drain(self) -> None:
+        """Move to draining (idempotent; SIGTERM/SIGINT/shutdown op)."""
+        if self.state == "serving":
+            self.state = "draining"
+        if self._drain_event is not None:
+            self._drain_event.set()
+
+    async def wait_drained(self) -> None:
+        """Block until a drain is requested and admitted work finishes."""
+        assert self._drain_event is not None and self._queue is not None
+        await self._drain_event.wait()
+        # Everything admitted before the drain completes and is
+        # answered; new work is refused in _dispatch meanwhile.
+        await self._queue.join()
+
+    async def stop(self) -> None:
+        """Tear down: listener, connections, workers, warm pool."""
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        # Give handlers awaiting already-resolved flights a moment to
+        # write their final frames, then close the stragglers (idle
+        # keep-alive connections block in readline() forever).
+        deadline = time.monotonic() + _FLUSH_GRACE_S
+        while self._connections and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        for worker in self._workers:
+            worker.cancel()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        if self.config.cache is not None:
+            self.config.cache.flush_counters()
+        # The long-lived process owns the warm pool; retire it here so
+        # a drained daemon leaves no workers behind.  The atexit
+        # backstop (repro.reasoning.runtime) makes this idempotent.
+        retire_warm_pool()
+        self.state = "stopped"
+
+    # -- connections --------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Oversized frame: the stream cannot be resynced.
+                    self.counters["protocol_errors"] += 1
+                    writer.write(
+                        protocol.encode(
+                            protocol.error_response(
+                                None,
+                                f"frame exceeds "
+                                f"{protocol.MAX_LINE_BYTES} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = protocol.parse_request(line)
+                except ProtocolError as exc:
+                    self.counters["protocol_errors"] += 1
+                    response = protocol.error_response(None, str(exc))
+                else:
+                    response = await self._dispatch(request)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            self._connections.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    # -- dispatch -----------------------------------------------------
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request["op"]
+        request_id = request.get("id")
+        self.counters["requests"] += 1
+        self.counters[op] += 1
+        if op == "health":
+            return self._health_response(request_id)
+        if op == "stats":
+            return self._stats_response(request_id)
+        if op == "shutdown":
+            self.initiate_drain()
+            return protocol.ok_response(request_id, state=self.state)
+        if self.state != "serving":
+            self.counters["drain_refusals"] += 1
+            return protocol.draining_response(request_id)
+        if op == "imply":
+            return await self._handle_imply(request)
+        return await self._handle_check(request)
+
+    def _health_response(self, request_id: Any) -> dict:
+        return protocol.ok_response(
+            request_id,
+            state=self.state,
+            uptime_ms=round((time.monotonic() - self._started_at) * 1e3, 1),
+        )
+
+    def _stats_response(self, request_id: Any) -> dict:
+        imply_total = self._flights.led + self._flights.coalesced
+        stats: dict = {
+            "state": self.state,
+            "uptime_ms": round(
+                (time.monotonic() - self._started_at) * 1e3, 1
+            ),
+            "queue": {
+                "depth": self._queue.qsize() if self._queue else 0,
+                "max": self.config.max_queue,
+            },
+            "inflight": self._flights.inflight(),
+            "dedup": {
+                "led": self._flights.led,
+                "coalesced": self._flights.coalesced,
+                "hit_rate": (
+                    self._flights.coalesced / imply_total
+                    if imply_total
+                    else 0.0
+                ),
+            },
+            "ewma_solve_ms": (
+                None
+                if self._ewma_solve_s is None
+                else round(self._ewma_solve_s * 1e3, 3)
+            ),
+            "counters": dict(self.counters),
+            "warm_pool": warm_pool_stats(),
+        }
+        if self.config.cache is not None:
+            stats["cache"] = self.config.cache.stats()
+        return protocol.ok_response(request_id, **stats)
+
+    # -- imply --------------------------------------------------------
+
+    async def _handle_imply(self, request: dict) -> dict:
+        request_id = request.get("id")
+        try:
+            problem, fragment = self._parse_imply(request)
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            self.counters["errors"] += 1
+            return protocol.error_response(
+                request_id, f"bad imply request: {exc}"
+            )
+        budget_ms = request.get("budget_ms", self.config.default_budget_ms)
+        deadline = (
+            None
+            if budget_ms is None
+            else time.monotonic() + float(budget_ms) / 1e3
+        )
+        delay_ms = int(request.get("delay_ms") or 0)
+
+        # Dedup is off under injection: coalescing would let one
+        # injected run answer for many, hiding the runtime exercise
+        # the injection exists to force.
+        form: CanonicalForm | None = None
+        dedup = self.config.inject is None and not request.get("no_dedup")
+        if dedup:
+            form = canonicalize_problem(problem)
+            is_leader, flight = self._flights.join_or_lead(form.key)
+            if not is_leader:
+                self.counters["dedup_followers"] += 1
+                outcome = await asyncio.shield(flight.future)
+                return self._imply_response(
+                    request_id, outcome, form, fragment, request, "follower"
+                )
+            admission_error = self._admit(
+                _Admitted(
+                    op="imply",
+                    solve_fn=functools.partial(
+                        self._solve_blocking,
+                        problem,
+                        deadline,
+                        delay_ms,
+                        form,
+                        request,
+                    ),
+                    deadline=deadline,
+                    key=form.key,
+                    admitted_at=time.monotonic(),
+                ),
+                request_id,
+                deadline,
+            )
+            if admission_error is not None:
+                self._flights.abandon(form.key)
+                return admission_error
+            outcome = await asyncio.shield(flight.future)
+            return self._imply_response(
+                request_id, outcome, form, fragment, request, "leader"
+            )
+
+        future: asyncio.Future[FlightOutcome] = (
+            asyncio.get_running_loop().create_future()
+        )
+        admission_error = self._admit(
+            _Admitted(
+                op="imply",
+                solve_fn=functools.partial(
+                    self._solve_blocking,
+                    problem,
+                    deadline,
+                    delay_ms,
+                    None,
+                    request,
+                ),
+                deadline=deadline,
+                future=future,
+                admitted_at=time.monotonic(),
+            ),
+            request_id,
+            deadline,
+        )
+        if admission_error is not None:
+            return admission_error
+        outcome = await asyncio.shield(future)
+        return self._imply_response(
+            request_id, outcome, None, fragment, request, "solo"
+        )
+
+    def _parse_imply(
+        self, request: dict
+    ) -> tuple[ImplicationProblem, str]:
+        sigma_lines = request.get("sigma")
+        if not isinstance(sigma_lines, list) or not all(
+            isinstance(line, str) for line in sigma_lines
+        ):
+            raise ValueError("sigma must be a list of constraint lines")
+        phi_line = request.get("phi")
+        if not isinstance(phi_line, str):
+            raise ValueError("phi must be a constraint line")
+        sigma = parse_constraints("\n".join(sigma_lines))
+        phi = parse_constraint(phi_line)
+        context = request.get("context", "semistructured")
+        schema = None
+        schema_text = request.get("schema")
+        if schema_text is not None:
+            from repro.xml import schema_from_xml_data
+
+            schema = schema_from_xml_data(schema_text)
+        problem = ImplicationProblem(sigma, phi, context, schema=schema)
+        fragment = classify(problem.sigma, problem.phi).value
+        return problem, fragment
+
+    # -- admission control --------------------------------------------
+
+    def _admit(
+        self,
+        item: _Admitted,
+        request_id: Any,
+        deadline: float | None,
+    ) -> dict | None:
+        """Admit ``item`` to the bounded queue, or answer why not.
+
+        Returns ``None`` on admission, else the shed/reject response.
+        Runs entirely without ``await`` so single-flight leaders can
+        never strand followers between joining and enqueueing.
+        """
+        assert self._queue is not None
+        depth = self._queue.qsize()
+        wait_estimate = depth * (self._ewma_solve_s or _EWMA_PRIOR_S)
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= wait_estimate:
+                # The budget cannot survive the queue: reject up front
+                # instead of letting the deadline die in line.
+                self.counters["rejected_upfront"] += 1
+                return protocol.overloaded_response(
+                    request_id, retry_after_ms=int(wait_estimate * 1e3) + 1
+                )
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self.counters["shed"] += 1
+            retry = (self._ewma_solve_s or _EWMA_PRIOR_S) * max(1, depth)
+            return protocol.overloaded_response(
+                request_id, retry_after_ms=int(retry * 1e3) + 1
+            )
+        return None
+
+    # -- the solver workers -------------------------------------------
+
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            try:
+                if (
+                    item.deadline is not None
+                    and time.monotonic() > item.deadline
+                ):
+                    # Admitted, but the client budget died in line:
+                    # answering from a stale solve would be a lie, so
+                    # the only honest payload is UNKNOWN/rejected.
+                    self.counters["rejected_deadline"] += 1
+                    waited_ms = (
+                        time.monotonic() - item.admitted_at
+                    ) * 1e3
+                    outcome = FlightOutcome(
+                        kind="rejected",
+                        reason=(
+                            "deadline expired while queued "
+                            f"(waited {waited_ms:.0f} ms)"
+                        ),
+                    )
+                else:
+                    outcome = await loop.run_in_executor(
+                        self._executor, item.solve_fn
+                    )
+                    if outcome.kind == "solved":
+                        self.counters["solved"] += 1
+                        elapsed_s = outcome.elapsed_ms / 1e3
+                        self._ewma_solve_s = (
+                            elapsed_s
+                            if self._ewma_solve_s is None
+                            else (1 - _EWMA_ALPHA) * self._ewma_solve_s
+                            + _EWMA_ALPHA * elapsed_s
+                        )
+                    elif outcome.kind == "error":
+                        self.counters["errors"] += 1
+                self._resolve(item, outcome)
+            except asyncio.CancelledError:
+                self._resolve(
+                    item,
+                    FlightOutcome(
+                        kind="error", error="server shutting down"
+                    ),
+                )
+                raise
+            except Exception as exc:  # noqa: BLE001 - daemon must survive
+                self.counters["errors"] += 1
+                self._resolve(
+                    item,
+                    FlightOutcome(
+                        kind="error",
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+            finally:
+                self._queue.task_done()
+
+    def _resolve(self, item: _Admitted, outcome: FlightOutcome) -> None:
+        if item.key is not None:
+            self._flights.resolve(item.key, outcome)
+        elif item.future is not None and not item.future.done():
+            item.future.set_result(outcome)
+
+    def _solve_blocking(
+        self,
+        problem: ImplicationProblem,
+        deadline: float | None,
+        delay_ms: int,
+        form: CanonicalForm | None,
+        request: dict,
+    ) -> FlightOutcome:
+        """Runs on a solver thread; must never raise."""
+        start = time.monotonic()
+        if delay_ms > 0 and self.config.allow_delay:
+            time.sleep(delay_ms / 1e3)
+        remaining = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return FlightOutcome(
+                    kind="rejected",
+                    reason="deadline expired before the solve started",
+                )
+        jobs = request.get("jobs", self.config.jobs)
+        try:
+            result = solve(
+                problem,
+                jobs=jobs,
+                deadline=remaining,
+                max_respawns=self.config.max_respawns,
+                inject=self.config.inject,
+                cache=self.config.cache,
+            )
+        except (ReproError, ValueError) as exc:
+            return FlightOutcome(
+                kind="error", error=f"{type(exc).__name__}: {exc}"
+            )
+        canonical_cm = None
+        if form is not None and result.countermodel is not None:
+            with contextlib.suppress(GraphError):
+                canonical_cm = graph_to_dict(
+                    rename_graph(
+                        result.countermodel,
+                        form.label_map,
+                        form.class_map,
+                    )
+                )
+        return FlightOutcome(
+            kind="solved",
+            result=result,
+            canonical_countermodel=canonical_cm,
+            elapsed_ms=(time.monotonic() - start) * 1e3,
+        )
+
+    def _imply_response(
+        self,
+        request_id: Any,
+        outcome: FlightOutcome,
+        form: CanonicalForm | None,
+        fragment: str,
+        request: dict,
+        role: str,
+    ) -> dict:
+        if outcome.kind == "rejected":
+            return protocol.rejected_response(request_id, outcome.reason)
+        if outcome.kind == "error":
+            return protocol.error_response(request_id, outcome.error)
+        result = outcome.result
+        countermodel = None
+        if request.get("want_countermodel", True):
+            if form is not None and outcome.canonical_countermodel:
+                # Rename the shared canonical certificate back into
+                # *this* requester's alphabet.
+                countermodel = graph_to_dict(
+                    rename_graph(
+                        graph_from_dict(outcome.canonical_countermodel),
+                        form.inverse_label_map(),
+                        form.inverse_class_map(),
+                    )
+                )
+            elif form is None and result.countermodel is not None:
+                with contextlib.suppress(GraphError):
+                    countermodel = graph_to_dict(result.countermodel)
+        response = protocol.ok_response(
+            request_id,
+            **protocol.result_to_wire(
+                result,
+                fragment,
+                str(request.get("context", "semistructured")),
+                countermodel=countermodel,
+            ),
+        )
+        response["dedup"] = {"role": role}
+        response["elapsed_ms"] = round(outcome.elapsed_ms, 3)
+        return response
+
+    # -- check --------------------------------------------------------
+
+    async def _handle_check(self, request: dict) -> dict:
+        request_id = request.get("id")
+        try:
+            graph = graph_from_dict(request["graph"])
+            constraints = parse_constraints(
+                "\n".join(request.get("constraints", []))
+            )
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            self.counters["errors"] += 1
+            return protocol.error_response(
+                request_id, f"bad check request: {exc}"
+            )
+        budget_ms = request.get("budget_ms")
+        deadline = (
+            None
+            if budget_ms is None
+            else time.monotonic() + float(budget_ms) / 1e3
+        )
+
+        def run_check() -> FlightOutcome:
+            start = time.monotonic()
+            report = check_all(graph, constraints)
+            return FlightOutcome(
+                kind="solved",
+                wire={
+                    "ok": report.ok,
+                    "checked": len(report.results),
+                    "failed": len(report.failed),
+                    "summary": report.summary(),
+                },
+                elapsed_ms=(time.monotonic() - start) * 1e3,
+            )
+
+        future: asyncio.Future[FlightOutcome] = (
+            asyncio.get_running_loop().create_future()
+        )
+        admission_error = self._admit(
+            _Admitted(
+                op="check",
+                solve_fn=run_check,
+                deadline=deadline,
+                future=future,
+                admitted_at=time.monotonic(),
+            ),
+            request_id,
+            deadline,
+        )
+        if admission_error is not None:
+            return admission_error
+        outcome = await asyncio.shield(future)
+        if outcome.kind == "rejected":
+            return protocol.rejected_response(request_id, outcome.reason)
+        if outcome.kind == "error":
+            return protocol.error_response(request_id, outcome.error)
+        response = protocol.ok_response(request_id, **(outcome.wire or {}))
+        response["elapsed_ms"] = round(outcome.elapsed_ms, 3)
+        return response

@@ -1,0 +1,117 @@
+"""Single-flight deduplication of concurrent implication requests.
+
+An implication verdict is a pure function of the instance's structure
+(the premise of the cross-request cache, and of the
+containment-under-constraints line of work it leans on), so two
+concurrent requests whose instances share a canonical form
+(:func:`repro.reasoning.canonical.canonicalize_problem`) need only one
+solve: the first becomes the *leader* and is admitted to the solver
+queue; later arrivals become *followers* and await the leader's
+outcome instead of occupying queue slots and solver threads.
+
+Because the daemon's event loop is single-threaded, the table needs no
+locks: ``join_or_lead`` and ``resolve`` are only ever called from loop
+coroutines, and the window between joining and enqueueing the leader
+contains no ``await``, so a flight can never be observed half-made.
+
+Followers do *not* get the leader's response verbatim — their
+alphabets may differ.  The leader publishes a :class:`FlightOutcome`
+whose counter-model (if any) is serialized in the *canonical*
+alphabet; each requester renames it back through its own
+:class:`~repro.reasoning.canonical.CanonicalForm` inverse maps, so
+every client receives a certificate over its own labels,
+re-verifiable like any fresh refutation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class FlightOutcome:
+    """What one admitted request produced, shared by all its waiters.
+
+    ``kind`` is a closed vocabulary: ``solved`` (the solver ran;
+    ``result`` holds the :class:`ImplicationResult`), ``rejected``
+    (the deadline expired while queued — the only honest payload is
+    UNKNOWN), ``error`` (the request was admitted but the solver
+    raised).  ``canonical_countermodel`` is the serialized
+    counter-model in the canonical alphabet (``None`` when absent or
+    unserializable); ``wire`` carries op-specific extra payload for
+    non-``imply`` work routed through the same queue.
+    """
+
+    kind: str
+    result: Any = None
+    canonical_countermodel: dict | None = None
+    wire: dict | None = None
+    reason: str = ""
+    error: str = ""
+    elapsed_ms: float = 0.0
+
+
+@dataclass
+class Flight:
+    """One in-flight canonical instance and everyone waiting on it."""
+
+    key: str
+    future: "asyncio.Future[FlightOutcome]"
+    followers: int = 0
+
+
+@dataclass
+class SingleFlightTable:
+    """The daemon's registry of in-flight canonical keys."""
+
+    _flights: dict[str, Flight] = field(default_factory=dict)
+    #: lifetime count of requests that coalesced onto an existing
+    #: flight instead of solving (the dedup hit counter).
+    coalesced: int = 0
+    #: lifetime count of flights led (the dedup denominator's
+    #: complement: total imply requests = led + coalesced).
+    led: int = 0
+
+    def join_or_lead(self, key: str) -> tuple[bool, Flight]:
+        """Attach to an existing flight, or register a new one.
+
+        Returns ``(is_leader, flight)``.  The caller leading a flight
+        MUST eventually :meth:`resolve` or :meth:`abandon` it — on
+        every path, including admission failure — or followers would
+        wait forever.
+        """
+        existing = self._flights.get(key)
+        if existing is not None:
+            existing.followers += 1
+            self.coalesced += 1
+            return False, existing
+        flight = Flight(
+            key=key, future=asyncio.get_running_loop().create_future()
+        )
+        self._flights[key] = flight
+        self.led += 1
+        return True, flight
+
+    def resolve(self, key: str, outcome: FlightOutcome) -> None:
+        """Publish the outcome to every waiter and retire the flight."""
+        flight = self._flights.pop(key, None)
+        if flight is not None and not flight.future.done():
+            flight.future.set_result(outcome)
+
+    def abandon(self, key: str) -> None:
+        """Retire a flight that was never admitted (queue full).
+
+        Followers cannot exist yet — admission failure happens in the
+        same no-``await`` window as :meth:`join_or_lead` — but resolve
+        the future defensively anyway so nothing can hang.
+        """
+        flight = self._flights.pop(key, None)
+        if flight is not None and not flight.future.done():
+            flight.future.set_result(
+                FlightOutcome(kind="error", error="flight abandoned")
+            )
+
+    def inflight(self) -> int:
+        return len(self._flights)

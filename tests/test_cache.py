@@ -308,6 +308,77 @@ class TestDiskTier:
         ]
         assert lifetime == {"hits": 2, "misses": 1, "stores": 1}
 
+    def test_concurrent_counter_folds_are_exact(self, tmp_path):
+        # The server folds counters from many connections; the flock
+        # around the read-modify-write makes concurrent increments
+        # exact, not last-writer-wins (each thread uses its own
+        # _DiskTier, modelling separate connections/processes).
+        import threading
+
+        from repro.reasoning.cache import _DiskTier
+
+        n_threads, per_thread = 8, 10
+        barrier = threading.Barrier(n_threads)
+
+        def fold():
+            tier = _DiskTier(tmp_path)
+            barrier.wait()
+            for _ in range(per_thread):
+                tier.add_counters(1, 2, 3)
+
+        threads = [
+            threading.Thread(target=fold) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        counters = _DiskTier(tmp_path).read_counters()
+        assert counters == {
+            "hits": total,
+            "misses": 2 * total,
+            "stores": 3 * total,
+        }
+
+    def test_torn_counters_file_resets_with_warning(self, tmp_path):
+        from repro.reasoning.cache import _DiskTier
+
+        tier = _DiskTier(tmp_path)
+        tier.add_counters(5, 5, 5)
+        # Simulate a torn write from a pre-lock version / disk-full.
+        tier._counters_path.write_text('{"hits": 5, "mis')
+        with pytest.warns(RuntimeWarning, match="torn/corrupt counters"):
+            counters = tier.read_counters()
+        assert counters == {"hits": 0, "misses": 0, "stores": 0}
+        # A subsequent fold starts over cleanly instead of crashing.
+        with pytest.warns(RuntimeWarning, match="torn/corrupt counters"):
+            tier.add_counters(1, 0, 0)
+        assert tier.read_counters()["hits"] == 1
+
+    def test_wrong_shape_counters_resets_with_warning(self, tmp_path):
+        from repro.reasoning.cache import _DiskTier
+
+        tier = _DiskTier(tmp_path)
+        tier.directory.mkdir(parents=True, exist_ok=True)
+        tier._counters_path.write_text('["not", "an", "object"]')
+        with pytest.warns(RuntimeWarning, match="torn/corrupt counters"):
+            assert tier.read_counters() == {
+                "hits": 0,
+                "misses": 0,
+                "stores": 0,
+            }
+
+    def test_missing_counters_file_is_silent(self, tmp_path):
+        import warnings as warnings_module
+
+        from repro.reasoning.cache import _DiskTier
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            counters = _DiskTier(tmp_path).read_counters()
+        assert counters == {"hits": 0, "misses": 0, "stores": 0}
+
 
 class TestEntryValidation:
     def test_make_entry_rejects_unknown(self):

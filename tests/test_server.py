@@ -1,0 +1,612 @@
+"""The implication server daemon: protocol, admission, dedup, drain.
+
+The daemon composes every robustness layer of the library under
+concurrent load, so these tests exercise exactly the guarantees the
+layers promise individually:
+
+* admission control sheds instead of buffering, and a client budget
+  that dies in the queue yields an honest UNKNOWN/rejected — never a
+  stale definite answer (the PR's satellite requirement);
+* single-flight dedup coalesces alpha-equivalent concurrent queries
+  and renames the shared certificate into each requester's alphabet
+  (re-verified against the Definition 2.1 checker);
+* graceful drain finishes admitted work, refuses new work with a
+  drain status, retires the warm pool, and exits 0 (checked end-to-end
+  over SIGTERM in a subprocess).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.checking import check_all
+from repro.constraints import parse_constraints
+from repro.errors import ProtocolError, ServerUnavailable
+from repro.graph.builders import figure1_graph
+from repro.graph.serialize import from_dict, to_dict
+from repro.reasoning.cache import ImplicationCache
+from repro.reasoning.faultinject import FaultPlan
+from repro.reasoning.runtime import retire_warm_pool, warm_pool_stats
+from repro.server import (
+    ImplicationServer,
+    ServerClient,
+    ServerConfig,
+    parse_host_port,
+)
+from repro.server import protocol
+from repro.server.singleflight import FlightOutcome, SingleFlightTable
+
+# The divergent-chase instance of the fault/warm-pool suites: FALSE on
+# an undecidable cell, so the portfolio genuinely runs.
+SIGMA = ["() => K", "K :: () => a.a.a", "K :: a.a.a => ()", "a :: a => a"]
+PHI = "K :: a => ()"
+# The same instance under the renaming a->b, K->L: alpha-equivalent,
+# so single-flight must coalesce it with SIGMA/PHI.
+SIGMA_RENAMED = [
+    "() => L",
+    "L :: () => b.b.b",
+    "L :: b.b.b => ()",
+    "b :: b => b",
+]
+PHI_RENAMED = "L :: b => ()"
+
+# A decidable P_w chain (complete PTIME word decider, TRUE).
+WORD_SIGMA = ["a => b", "b => c"]
+WORD_PHI = "a => c"
+
+
+class ServerHarness:
+    """Run an :class:`ImplicationServer` on a background-thread loop."""
+
+    def __init__(self, **config_kwargs) -> None:
+        self.server = ImplicationServer(ServerConfig(**config_kwargs))
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+
+    def __enter__(self) -> "ServerHarness":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError(f"server failed to start: {self._error}")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.server.state in ("serving", "draining"):
+            try:
+                self.client(retries=0).shutdown()
+            except (ServerUnavailable, OSError):
+                pass
+        assert self._thread is not None
+        self._thread.join(timeout=20)
+        assert not self._thread.is_alive(), "server thread failed to stop"
+
+    def _run(self) -> None:
+        async def main() -> None:
+            await self.server.start()
+            self._ready.set()
+            await self.server.wait_drained()
+            await self.server.stop()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # pragma: no cover - surfaced above
+            self._error = exc
+            self._ready.set()
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    def client(self, **kwargs) -> ServerClient:
+        kwargs.setdefault("timeout", 30.0)
+        return ServerClient("127.0.0.1", self.port, **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def _cold_warm_pool():
+    retire_warm_pool()
+    yield
+    retire_warm_pool()
+
+
+def _verify_countermodel(cm_dict, sigma_lines, phi_line):
+    """A wire counter-model must satisfy Sigma and violate phi in the
+    *requester's* alphabet — re-verifiable like any fresh refutation."""
+    graph = from_dict(cm_dict)
+    sigma = parse_constraints("\n".join(sigma_lines))
+    phi = parse_constraints(phi_line)[0]
+    assert check_all(graph, sigma).ok
+    assert not check_all(graph, [phi]).ok
+
+
+class TestProtocol:
+    def test_request_roundtrip(self):
+        frame = protocol.encode(
+            {"v": 1, "op": "health", "id": "x"}
+        )
+        assert frame.endswith(b"\n")
+        parsed = protocol.parse_request(frame)
+        assert parsed["op"] == "health"
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ProtocolError, match="protocol version"):
+            protocol.parse_request(b'{"v": 99, "op": "health"}')
+        with pytest.raises(ProtocolError, match="protocol version"):
+            protocol.parse_request(b'{"op": "health"}')
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown operation"):
+            protocol.parse_request(b'{"v": 1, "op": "solve"}')
+
+    def test_rejects_non_json_and_non_object(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            protocol.parse_request(b"imply please\n")
+        with pytest.raises(ProtocolError, match="not a JSON object"):
+            protocol.parse_request(b"[1, 2]\n")
+
+    def test_rejects_oversized_frame(self):
+        big = b'{"v": 1, "op": "health", "pad": "' + b"x" * (
+            protocol.MAX_LINE_BYTES
+        ) + b'"}'
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.parse_request(big)
+
+    def test_response_validation(self):
+        ok = protocol.encode(protocol.ok_response("id1", answer="true"))
+        assert protocol.parse_response(ok)["status"] == "ok"
+        with pytest.raises(ProtocolError, match="status"):
+            protocol.parse_response(b'{"v": 1, "status": "maybe"}')
+
+    def test_parse_host_port(self):
+        assert parse_host_port("localhost:8747") == ("localhost", 8747)
+        for bad in ("localhost", ":80", "host:notaport", "host:0"):
+            with pytest.raises(ValueError):
+                parse_host_port(bad)
+
+
+class TestSingleFlightTable:
+    def test_join_resolve_and_abandon(self):
+        async def scenario():
+            table = SingleFlightTable()
+            lead, flight = table.join_or_lead("k1")
+            follow, same = table.join_or_lead("k1")
+            assert lead and not follow and same is flight
+            assert flight.followers == 1
+            assert table.inflight() == 1
+            table.resolve("k1", FlightOutcome(kind="solved"))
+            assert (await flight.future).kind == "solved"
+            assert table.inflight() == 0
+            # A new flight under the same key after resolution.
+            lead2, flight2 = table.join_or_lead("k1")
+            assert lead2 and flight2 is not flight
+            table.abandon("k1")
+            assert (await flight2.future).kind == "error"
+            assert table.coalesced == 1 and table.led == 2
+
+        asyncio.run(scenario())
+
+
+class TestImplyOverTheWire:
+    def test_decidable_word_instance(self):
+        with ServerHarness(port=0) as harness:
+            with harness.client() as client:
+                response = client.imply(WORD_SIGMA, WORD_PHI)
+        assert response["status"] == "ok"
+        assert response["answer"] == "true"
+        assert response["fragment"] == "P_w"
+        assert response["decidable"] is True
+        assert response["faults"]["events"] == []
+
+    def test_undecidable_cell_with_countermodel(self):
+        with ServerHarness(port=0) as harness:
+            with harness.client() as client:
+                response = client.imply(SIGMA, PHI)
+        assert response["status"] == "ok"
+        assert response["answer"] == "false"
+        assert response["decidable"] is False
+        _verify_countermodel(response["countermodel"], SIGMA, PHI)
+
+    def test_bad_request_is_an_error_not_a_crash(self):
+        with ServerHarness(port=0) as harness:
+            with harness.client() as client:
+                bad = client.imply(["this is not a constraint"], PHI)
+                assert bad["status"] == "error"
+                assert "bad imply request" in bad["error"]
+                # The connection and server both survive.
+                good = client.imply(WORD_SIGMA, WORD_PHI)
+                assert good["status"] == "ok"
+
+    def test_malformed_frames_survive_the_connection(self):
+        with ServerHarness(port=0) as harness:
+            with socket.create_connection(
+                ("127.0.0.1", harness.port), timeout=10
+            ) as sock:
+                reader = sock.makefile("rb")
+                sock.sendall(b"not json at all\n")
+                first = json.loads(reader.readline())
+                assert first["status"] == "error"
+                sock.sendall(b'{"v": 1, "op": "nope"}\n')
+                second = json.loads(reader.readline())
+                assert second["status"] == "error"
+                sock.sendall(
+                    protocol.encode({"v": 1, "op": "health", "id": 7})
+                )
+                third = json.loads(reader.readline())
+                assert third["status"] == "ok" and third["id"] == 7
+
+    def test_check_op(self):
+        with ServerHarness(port=0) as harness:
+            with harness.client() as client:
+                response = client.check(
+                    to_dict(figure1_graph()),
+                    ["book.author => person"],
+                )
+        assert response["status"] == "ok"
+        assert response["ok"] is True
+        assert response["checked"] == 1
+
+    def test_cache_shared_across_connections(self, tmp_path):
+        cache = ImplicationCache(cache_dir=tmp_path / "cache")
+        with ServerHarness(port=0, cache=cache) as harness:
+            with harness.client() as first:
+                stored = first.imply(SIGMA, PHI)
+            with harness.client() as second:
+                hit = second.imply(SIGMA, PHI)
+            with harness.client() as renamed:
+                alpha = renamed.imply(SIGMA_RENAMED, PHI_RENAMED)
+        assert stored["cache"]["status"] == "store"
+        assert hit["cache"]["status"] == "hit"
+        # An alpha-renamed repeat is a hit too, and its replayed
+        # certificate re-verifies in the renamed alphabet.
+        assert alpha["cache"]["status"] == "hit"
+        _verify_countermodel(
+            alpha["countermodel"], SIGMA_RENAMED, PHI_RENAMED
+        )
+
+    def test_faults_travel_over_the_wire(self):
+        with ServerHarness(
+            port=0, inject=FaultPlan.from_spec("raise:0,raise:1")
+        ) as harness:
+            with harness.client() as client:
+                response = client.imply(SIGMA, PHI, jobs=2)
+        assert response["status"] == "ok"
+        # Faults may demote to UNKNOWN but never flip: the clean
+        # answer is FALSE, so TRUE is the one forbidden outcome.
+        assert response["answer"] in ("false", "unknown")
+        kinds = {e["kind"] for e in response["faults"]["events"]}
+        assert "injected" in kinds
+
+
+class TestSingleFlightDedup:
+    def _concurrent_imply(self, harness, specs):
+        """Fire imply requests concurrently; returns responses in
+        ``specs`` order.  Each spec is (sigma, phi, extra_kwargs)."""
+        responses: dict[int, dict] = {}
+        errors: list[BaseException] = []
+
+        def ask(index, sigma, phi, kwargs):
+            try:
+                with harness.client() as client:
+                    responses[index] = client.imply(sigma, phi, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=ask, args=(i, s, p, k))
+            for i, (s, p, k) in enumerate(specs)
+        ]
+        threads[0].start()
+        time.sleep(0.15)  # let the leader enter the solver first
+        for thread in threads[1:]:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+        return [responses[i] for i in range(len(specs))]
+
+    def test_alpha_equivalent_requests_coalesce(self):
+        with ServerHarness(
+            port=0, solver_threads=1, allow_delay=True
+        ) as harness:
+            specs = [
+                (SIGMA, PHI, {"delay_ms": 400}),
+                (SIGMA, PHI, {}),
+                (SIGMA_RENAMED, PHI_RENAMED, {}),
+            ]
+            responses = self._concurrent_imply(harness, specs)
+            with harness.client() as client:
+                stats = client.stats()
+        roles = [r["dedup"]["role"] for r in responses]
+        assert roles[0] == "leader"
+        assert roles[1:] == ["follower", "follower"]
+        assert [r["answer"] for r in responses] == ["false"] * 3
+        # Every requester gets the certificate in its own alphabet.
+        _verify_countermodel(responses[0]["countermodel"], SIGMA, PHI)
+        _verify_countermodel(responses[1]["countermodel"], SIGMA, PHI)
+        _verify_countermodel(
+            responses[2]["countermodel"], SIGMA_RENAMED, PHI_RENAMED
+        )
+        assert stats["dedup"]["coalesced"] == 2
+        assert stats["dedup"]["hit_rate"] > 0
+
+    def test_no_dedup_opts_out(self):
+        with ServerHarness(
+            port=0, solver_threads=2, allow_delay=True
+        ) as harness:
+            specs = [
+                (SIGMA, PHI, {"delay_ms": 300, "no_dedup": True}),
+                (SIGMA, PHI, {"no_dedup": True}),
+            ]
+            responses = self._concurrent_imply(harness, specs)
+        assert [r["dedup"]["role"] for r in responses] == ["solo", "solo"]
+
+
+class TestAdmissionControl:
+    def test_queue_full_sheds_with_retry_hint(self):
+        with ServerHarness(
+            port=0, solver_threads=1, max_queue=1, allow_delay=True
+        ) as harness:
+            statuses: list[str] = []
+            lock = threading.Lock()
+
+            def ask(delay):
+                try:
+                    with harness.client(retries=0) as client:
+                        response = client.imply(
+                            SIGMA, PHI, delay_ms=delay, no_dedup=True
+                        )
+                    status = response["status"]
+                except ServerUnavailable as exc:
+                    assert exc.retry_after_ms is None or (
+                        exc.retry_after_ms >= 1
+                    )
+                    status = "overloaded"
+                with lock:
+                    statuses.append(status)
+
+            slow = threading.Thread(target=ask, args=(500,))
+            slow.start()
+            time.sleep(0.15)
+            rest = [
+                threading.Thread(target=ask, args=(0,)) for _ in range(4)
+            ]
+            for thread in rest:
+                thread.start()
+            for thread in [slow, *rest]:
+                thread.join(timeout=30)
+        # 1 in-flight + 1 queued get through; the rest are shed.
+        assert statuses.count("ok") == 2
+        assert statuses.count("overloaded") == 3
+
+    def test_client_retry_eventually_admits(self):
+        with ServerHarness(
+            port=0, solver_threads=1, max_queue=1, allow_delay=True
+        ) as harness:
+            blocker = threading.Thread(
+                target=lambda: harness.client().imply(
+                    SIGMA, PHI, delay_ms=400, no_dedup=True
+                )
+            )
+            filler = threading.Thread(
+                target=lambda: harness.client().imply(
+                    SIGMA, PHI, delay_ms=200, no_dedup=True
+                )
+            )
+            blocker.start()
+            time.sleep(0.1)
+            filler.start()
+            time.sleep(0.05)
+            # Queue is now full; a retrying client must get through
+            # once the blocker finishes.
+            with harness.client(
+                retries=8, backoff_base=0.1, jitter_seed=7
+            ) as client:
+                response = client.imply(SIGMA, PHI, no_dedup=True)
+            blocker.join(timeout=30)
+            filler.join(timeout=30)
+        assert response["status"] == "ok"
+
+    def test_deadline_exceeded_while_queued_rejects(self):
+        """Satellite: a request admitted with a 50ms budget that waits
+        ~300ms in the queue must come back UNKNOWN/rejected — never a
+        stale definite answer."""
+        with ServerHarness(
+            port=0, solver_threads=1, allow_delay=True
+        ) as harness:
+            blocker = threading.Thread(
+                target=lambda: harness.client().imply(
+                    SIGMA, PHI, delay_ms=300, no_dedup=True
+                )
+            )
+            blocker.start()
+            time.sleep(0.1)
+            with harness.client() as client:
+                response = client.imply(
+                    SIGMA_RENAMED,
+                    PHI_RENAMED,
+                    budget_ms=50,
+                    no_dedup=True,
+                )
+            blocker.join(timeout=30)
+            with harness.client() as client:
+                stats = client.stats()
+        assert response["status"] == "rejected"
+        assert response["answer"] == "unknown"
+        assert "while queued" in response["reason"]
+        assert "countermodel" not in response
+        assert stats["counters"]["rejected_deadline"] == 1
+
+    def test_budget_propagates_to_solver(self):
+        # The injected delay eats the whole budget before the solve
+        # starts, so the honest outcome is rejected/UNKNOWN — the
+        # server must never spend a dead budget on a definite answer.
+        with ServerHarness(port=0, allow_delay=True) as harness:
+            with harness.client() as client:
+                response = client.imply(
+                    SIGMA,
+                    PHI,
+                    budget_ms=50,
+                    delay_ms=300,
+                    no_dedup=True,
+                )
+        assert response["status"] == "rejected"
+        assert response["answer"] == "unknown"
+        assert "before the solve started" in response["reason"]
+
+    def test_generous_budget_still_solves(self):
+        with ServerHarness(port=0) as harness:
+            with harness.client() as client:
+                response = client.imply(
+                    SIGMA, PHI, budget_ms=30_000, no_dedup=True
+                )
+        assert response["status"] == "ok"
+        assert response["answer"] == "false"
+
+
+class TestHealthStatsDrain:
+    def test_health_and_stats(self):
+        with ServerHarness(port=0) as harness:
+            with harness.client() as client:
+                health = client.health()
+                client.imply(WORD_SIGMA, WORD_PHI)
+                stats = client.stats()
+        assert health["status"] == "ok"
+        assert health["state"] == "serving"
+        assert health["uptime_ms"] >= 0
+        assert stats["counters"]["imply"] == 1
+        assert stats["counters"]["solved"] == 1
+        assert stats["queue"]["max"] == 64
+        assert stats["ewma_solve_ms"] is not None
+        assert "warm_pool" in stats
+
+    def test_shutdown_drains_and_refuses_new_work(self):
+        with ServerHarness(
+            port=0, solver_threads=1, allow_delay=True
+        ) as harness:
+            inflight_response: dict = {}
+
+            def slow():
+                with harness.client() as client:
+                    inflight_response.update(
+                        client.imply(SIGMA, PHI, delay_ms=500)
+                    )
+
+            thread = threading.Thread(target=slow)
+            thread.start()
+            time.sleep(0.15)
+            with harness.client() as client:
+                ack = client.shutdown()
+                assert ack["state"] == "draining"
+                refused = client.imply(WORD_SIGMA, WORD_PHI)
+                health = client.health()
+            thread.join(timeout=30)
+        # The in-flight solve completed and was answered.
+        assert inflight_response["status"] == "ok"
+        assert inflight_response["answer"] == "false"
+        # New work was refused while health stayed answerable.
+        assert refused["status"] == "draining"
+        assert health["status"] == "ok"
+        assert health["state"] == "draining"
+        # The drained daemon retired the warm pool.
+        assert not warm_pool_stats()["alive"]
+
+
+class TestClientRobustness:
+    def test_connection_refused_raises_server_unavailable(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        client = ServerClient(
+            "127.0.0.1", free_port, retries=1, backoff_base=0.01
+        )
+        with pytest.raises(ServerUnavailable, match="failed after 2"):
+            client.health()
+
+    def test_client_reconnects_after_server_restart(self):
+        with ServerHarness(port=0) as harness:
+            port = harness.port
+            client = ServerClient(
+                "127.0.0.1", port, retries=4, backoff_base=0.05
+            )
+            assert client.health()["status"] == "ok"
+            client.shutdown()
+        # Server gone: the same client object now fails honestly.
+        with pytest.raises(ServerUnavailable):
+            client.imply(WORD_SIGMA, WORD_PHI)
+        client.close()
+
+
+@pytest.mark.stress
+class TestSigtermDrainSubprocess:
+    def test_sigterm_mid_flight_drains_cleanly(self, tmp_path):
+        """SIGTERM during an in-flight solve: the solve completes and
+        is answered, new work gets the drain status, the process exits
+        0 (the CLI exit-code contract for a clean drain)."""
+        port_file = tmp_path / "port"
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--port-file",
+                str(port_file),
+                "--solver-threads",
+                "1",
+                "--allow-delay",
+                "--no-cache",
+            ],
+            env={
+                **os.environ,
+                "PYTHONPATH": "src",
+                "REPRO_CACHE_DIR": str(tmp_path / "cache"),
+            },
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 15
+            while not port_file.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            port = int(port_file.read_text())
+
+            inflight: dict = {}
+
+            def slow():
+                with ServerClient("127.0.0.1", port, timeout=30) as c:
+                    inflight.update(c.imply(SIGMA, PHI, delay_ms=800))
+
+            thread = threading.Thread(target=slow)
+            thread.start()
+            time.sleep(0.3)
+            proc.send_signal(signal.SIGTERM)
+            time.sleep(0.1)
+            # While draining, new work is refused but answered.
+            with ServerClient("127.0.0.1", port, timeout=30) as c:
+                refused = c.imply(WORD_SIGMA, WORD_PHI)
+            thread.join(timeout=30)
+            returncode = proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.wait(timeout=10)
+        assert inflight["status"] == "ok"
+        assert inflight["answer"] == "false"
+        assert refused["status"] == "draining"
+        assert returncode == 0

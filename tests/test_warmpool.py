@@ -119,6 +119,89 @@ class TestWarmReuse:
         assert _shm_leftovers() == []
 
 
+class TestAtexitBackstop:
+    """The interpreter-exit backstop for long-lived processes.
+
+    ``repro.reasoning.runtime`` registers :func:`retire_warm_pool`
+    with ``atexit`` at import time, so a daemon, REPL user or crashed
+    script that never retires explicitly still cannot leak worker
+    processes.  Explicit retirement must compose with the backstop:
+    retiring twice (or the atexit hook firing after a clean drain
+    already retired) is a no-op, never an error.
+    """
+
+    def test_retire_is_idempotent(self):
+        _pooled_solve()
+        assert warm_pool_pids()
+        retire_warm_pool()
+        stats_after_first = warm_pool_stats()
+        # The backstop firing later (atexit calls the same function)
+        # finds nothing to do and must not raise.
+        retire_warm_pool()
+        retire_warm_pool()
+        assert warm_pool_pids() == ()
+        assert warm_pool_stats() == stats_after_first
+
+    def test_retire_on_cold_process_is_a_noop(self):
+        retire_warm_pool()
+        retire_warm_pool()
+        assert not warm_pool_stats()["alive"]
+
+    def test_atexit_backstop_reaps_on_unclean_exit(self, tmp_path):
+        # A child process warms the pool and exits WITHOUT retiring;
+        # the atexit registration must reap the workers anyway.
+        import subprocess
+        import sys
+        import time
+
+        script = (
+            "import sys\n"
+            "from repro.constraints import parse_constraint, "
+            "parse_constraints\n"
+            "from repro.reasoning import Context, ImplicationProblem\n"
+            "from repro.reasoning.portfolio import run_portfolio\n"
+            "from repro.reasoning.runtime import warm_pool_pids\n"
+            f"sigma = parse_constraints({SIGMA!r})\n"
+            f"phi = parse_constraint({PHI!r})\n"
+            "problem = ImplicationProblem(sigma, phi, "
+            "Context.SEMISTRUCTURED)\n"
+            "run_portfolio(problem, jobs=2, execution='pool')\n"
+            "pids = warm_pool_pids()\n"
+            "assert pids, 'no warm pool to leak'\n"
+            "print(' '.join(map(str, pids)))\n"
+            # no retire_warm_pool(): the atexit backstop is on trial
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={
+                **__import__("os").environ,
+                "PYTHONPATH": "src",
+                "REPRO_CACHE_DIR": str(tmp_path / "cache"),
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        pids = [int(p) for p in proc.stdout.split()]
+        assert pids
+        # The child has exited; its workers must be gone too (allow a
+        # short grace for the OS to finish reaping).
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            alive = []
+            for pid in pids:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    continue
+                alive.append(pid)
+            if not alive:
+                break
+            time.sleep(0.05)
+        assert not alive, f"atexit backstop leaked workers: {alive}"
+
+
 @pytest.mark.stress
 class TestCrashCleanup:
     def test_os_exit_crash_mid_shard_leaks_no_segments(self):
