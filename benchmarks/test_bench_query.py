@@ -1,0 +1,165 @@
+"""Query-layer benchmarks: constraint-aware union optimization.
+
+Two workloads, matching ISSUE 9's acceptance criteria:
+
+* **optimized vs unoptimized union** — a chased bibliography graph is
+  queried with a redundant union (duplicates + Sigma-subsumed
+  branches).  The optimized plan must return identical answers while
+  evaluating fewer branches, and must not be slower overall (planning
+  cost included) than the naive evaluation.
+* **repeated planning through the cache** — the same union is planned
+  repeatedly through one shared :class:`ImplicationCache`; after the
+  cold pass every subsumption probe is a hit, so the reported hit rate
+  must be positive and the warm planning latency must beat cold.
+
+Everything lands in ``BENCH_query.json`` for ``scripts/bench.sh`` to
+re-gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _report import print_table, write_bench_json
+from repro.constraints import parse_constraints
+from repro.graph.builders import scaled_bibliography
+from repro.query import WordQueryOptimizer
+from repro.reasoning import ImplicationCache
+from repro.reasoning.chase import chase
+
+pytestmark = pytest.mark.bench
+
+SIGMA_TEXT = """
+book.author => person
+person.wrote => book
+book.ref => book
+"""
+
+#: Deliberately redundant: duplicates, Sigma-subsumed branches and a
+#: rewritable long branch — the shape a generated query front-end emits.
+BRANCHES = [
+    "book.author",
+    "book.author",
+    "person",
+    "book.ref.author",
+    "book.ref.ref.author",
+    "book.author.wrote.author",
+    "person.wrote.author",
+]
+
+EVAL_REPEATS = 5
+PLAN_REPEATS = 20
+
+_BENCH: dict = {}
+
+
+def _workload():
+    sigma = parse_constraints(SIGMA_TEXT)
+    graph = scaled_bibliography(120, 40, seed=9)
+    graph = chase(graph, list(sigma), max_steps=100_000).graph
+    return sigma, graph
+
+
+def test_optimized_union_beats_unoptimized():
+    sigma, graph = _workload()
+
+    def run(optimize: bool):
+        optimizer = WordQueryOptimizer(sigma)
+        began = time.perf_counter()
+        for _ in range(EVAL_REPEATS):
+            answers, results, report = optimizer.evaluate_union(
+                graph, BRANCHES, optimize=optimize
+            )
+        elapsed = (time.perf_counter() - began) / EVAL_REPEATS
+        return answers, results, report, elapsed
+
+    plain_answers, plain_results, _, plain_s = run(optimize=False)
+    opt_answers, opt_results, report, opt_s = run(optimize=True)
+
+    assert opt_answers == plain_answers, "optimization changed answers"
+    assert report is not None and report.branches_saved >= 3
+    assert len(report.pruned) == report.branches_saved
+
+    edges_plain = sum(r.edges_traversed for r in plain_results)
+    edges_opt = sum(r.edges_traversed for r in opt_results)
+    speedup = plain_s / opt_s
+    _BENCH["union_eval"] = {
+        "graph_nodes": graph.node_count(),
+        "graph_edges": graph.edge_count(),
+        "branches_in": len(BRANCHES),
+        "branches_out": len(report.optimized),
+        "branches_saved": report.branches_saved,
+        "labels_saved": report.labels_saved,
+        "edges_traversed_plain": edges_plain,
+        "edges_traversed_optimized": edges_opt,
+        "plain_ms": round(plain_s * 1e3, 3),
+        "optimized_ms": round(opt_s * 1e3, 3),
+        "speedup": round(speedup, 2),
+    }
+    print_table(
+        "query: redundant union, plain vs optimized (planning included)",
+        ["metric", "plain", "optimized"],
+        [
+            ["branches evaluated", len(BRANCHES), len(report.optimized)],
+            ["edges traversed", edges_plain, edges_opt],
+            ["latency (ms)", f"{plain_s * 1e3:.2f}", f"{opt_s * 1e3:.2f}"],
+            ["speedup", "", f"{speedup:.2f}x"],
+        ],
+    )
+    assert edges_opt < edges_plain
+    assert speedup >= 1.0, (
+        f"optimized union slower than plain: {speedup:.2f}x "
+        f"(plain {plain_s * 1e3:.2f}ms, optimized {opt_s * 1e3:.2f}ms)"
+    )
+
+
+def test_repeated_planning_hits_cache(tmp_path):
+    sigma, _ = _workload()
+    cache = ImplicationCache(cache_dir=str(tmp_path))
+
+    began = time.perf_counter()
+    cold = WordQueryOptimizer(sigma, cache=cache)
+    cold.optimize_union(BRANCHES)
+    cold_s = time.perf_counter() - began
+
+    warm_times = []
+    hits = calls = 0
+    for _ in range(PLAN_REPEATS):
+        optimizer = WordQueryOptimizer(sigma, cache=cache)
+        began = time.perf_counter()
+        optimizer.optimize_union(BRANCHES)
+        warm_times.append(time.perf_counter() - began)
+        hits += optimizer.stats["cache_hits"]
+        calls += optimizer.stats["solve_calls"]
+    warm_s = sorted(warm_times)[len(warm_times) // 2]
+    rate = hits / calls if calls else 0.0
+
+    _BENCH["plan_cache"] = {
+        "cold_ms": round(cold_s * 1e3, 3),
+        "warm_ms": round(warm_s * 1e3, 3),
+        "plan_repeats": PLAN_REPEATS,
+        "solve_calls": calls,
+        "cache_hits": hits,
+        "hit_rate": round(rate, 3),
+    }
+    print_table(
+        "query: repeated planning through a shared cache",
+        ["metric", "value"],
+        [
+            ["cold plan (ms)", f"{cold_s * 1e3:.2f}"],
+            ["warm plan median (ms)", f"{warm_s * 1e3:.2f}"],
+            ["dispatcher calls (warm)", calls],
+            ["cache hits (warm)", hits],
+            ["hit rate", f"{rate:.0%}"],
+        ],
+    )
+    assert rate > 0, "repeated planning never hit the implication cache"
+    assert warm_s <= cold_s
+
+
+def test_zz_write_report():
+    """Runs last (name-ordered): persist everything the suite measured."""
+    assert _BENCH, "benchmarks did not run"
+    write_bench_json("query", _BENCH)

@@ -25,6 +25,14 @@ for seed in 0 1 2; do
         --json-out "FUZZ_inject_seed$seed.json"
 done
 
+# Query-layer differential sweep: the optimizer and the containment
+# checker against brute-force evaluation on chased Sigma-models, three
+# seeds with EGD-bearing constraint sets included.
+for seed in 0 1 2; do
+    python -m repro query fuzz --seed "$seed" --rounds 25 \
+        --deadline 120 --json-out "FUZZ_query_seed$seed.json"
+done
+
 # The full fault-tolerance stress set (tier-1 runs these too, but
 # without the marker filter they drown in the rest of the suite).
 python -m pytest tests -m stress -q
@@ -69,6 +77,29 @@ assert cc["flips"] == 0, (
 print(
     f"speedup={cw['speedup']}x hit_rate={rw['hit_rate']:.0%} "
     f"flips={cc['flips']}: cache regression gate ok"
+)
+EOF
+
+# Query-regression gate: the optimized union must not lose to the
+# naive evaluation (planning cost included), must actually prune, and
+# repeated planning must hit the shared implication cache.
+python - <<'EOF'
+import json
+
+bench = json.load(open("BENCH_query.json"))
+ev, pc = bench["union_eval"], bench["plan_cache"]
+assert ev["speedup"] >= 1.0, (
+    f"query gate: optimized union lost to plain ({ev['speedup']}x; "
+    f"plain {ev['plain_ms']}ms, optimized {ev['optimized_ms']}ms)"
+)
+assert ev["branches_saved"] >= 1, "query gate: optimizer never pruned"
+assert ev["edges_traversed_optimized"] < ev["edges_traversed_plain"], (
+    "query gate: optimized plan traversed no fewer edges"
+)
+assert pc["hit_rate"] > 0, "query gate: planning cache hit rate is zero"
+print(
+    f"speedup={ev['speedup']}x branches_saved={ev['branches_saved']} "
+    f"plan_hit_rate={pc['hit_rate']:.0%}: query regression gate ok"
 )
 EOF
 

@@ -20,6 +20,11 @@ python -m repro fuzz --seed 7 --per-fragment 25
 python -m repro fuzz --seed 7 --per-fragment 5 \
     --inject-rate 0.25 --inject-seed 7
 
+# Query-layer differential smoke: fixed-seed optimizer/containment
+# sweep against brute-force evaluation on chased models.  Exit 0 means
+# zero disagreements; scripts/bench.sh runs the multi-seed sweep.
+python -m repro query fuzz --seed 0 --rounds 5
+
 # --jobs auto smoke: cost-model dispatch end-to-end on an undecidable
 # cell (the divergent-chase instance whose 3-node counter-model the
 # portfolio must find), clean and under a hostile fault plan.  Exit 0

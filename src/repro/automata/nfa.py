@@ -220,6 +220,151 @@ class NFA:
         nfa.add_final(current)
         return nfa
 
+    def trim(self) -> "NFA":
+        """A copy keeping only *useful* states (reachable from the
+        initial state and co-accessible to a final one).  The initial
+        state always survives, so the result is a well-formed NFA even
+        for the empty language."""
+        reachable: set[State] = set()
+        stack = [self._initial]
+        while stack:
+            state = stack.pop()
+            if state in reachable:
+                continue
+            reachable.add(state)
+            for targets in self._delta.get(state, {}).values():
+                stack.extend(targets)
+        live = (reachable & self.coaccessible_states()) | {self._initial}
+        out = NFA(initial=self._initial)
+        for src, symbol, dst in self.transitions():
+            if src in live and dst in live:
+                out.add_transition(src, symbol, dst)
+        for state in self._finals & live:
+            out.add_final(state)
+        return out
+
+    def intersect(self, other: "NFA") -> "NFA":
+        """The product automaton: ``L(self) intersect L(other)``.
+
+        States are pairs; epsilon moves advance one side at a time, so
+        neither operand needs to be epsilon-free.  Only the part
+        reachable from the initial pair is built.
+        """
+        out = NFA(initial=(self._initial, other._initial))
+        seen = {out.initial}
+        stack = [out.initial]
+        while stack:
+            pair = stack.pop()
+            p, q = pair
+            if p in self._finals and q in other._finals:
+                out.add_final(pair)
+            moves: list[tuple[object, tuple[State, State]]] = []
+            for symbol, targets in self._delta.get(p, {}).items():
+                if symbol is EPSILON:
+                    moves.extend((EPSILON, (dst, q)) for dst in targets)
+                else:
+                    for dst2 in other._delta.get(q, {}).get(symbol, ()):
+                        moves.extend(
+                            (symbol, (dst, dst2)) for dst in targets
+                        )
+            for dst2 in other._delta.get(q, {}).get(EPSILON, ()):
+                moves.append((EPSILON, (p, dst2)))
+            for symbol, nxt in moves:
+                out.add_transition(pair, symbol, nxt)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return out
+
+    def subset_witness(
+        self,
+        other: "NFA",
+        extra_alphabet: Iterable[str] = (),
+        max_pairs: int | None = None,
+    ) -> tuple[str, ...] | None:
+        """A shortest word in ``L(self) \\ L(other)``, or None.
+
+        ``None`` means ``L(self) c L(other)``.  Breadth-first search
+        over (self-subset, other-subset) pairs — on-the-fly
+        determinization of both sides, so no explicit powerset is ever
+        materialized; the frontier is bounded by the reachable pair
+        count.  ``max_pairs`` caps that count for callers that need a
+        guaranteed-cheap check; exceeding it raises :class:`RuntimeError`
+        (the automata here come from short queries, so the cap is a
+        safety valve, not an expected path).
+        """
+        alphabet = sorted(
+            self.alphabet() | other.alphabet() | set(extra_alphabet)
+        )
+        start = (
+            self.epsilon_closure([self._initial]),
+            other.epsilon_closure([other._initial]),
+        )
+        from collections import deque
+
+        queue = deque([((), start)])
+        seen = {start}
+        while queue:
+            word, (mine, theirs) = queue.popleft()
+            if (mine & self._finals) and not (theirs & other._finals):
+                return word
+            for symbol in alphabet:
+                nxt_mine = self.step(mine, symbol)
+                if not nxt_mine:
+                    # No accepting continuation on my side: the other
+                    # side cannot be beaten down this branch.
+                    continue
+                nxt = (nxt_mine, other.step(theirs, symbol))
+                if nxt in seen:
+                    continue
+                if max_pairs is not None and len(seen) >= max_pairs:
+                    raise RuntimeError(
+                        f"subset check exceeded {max_pairs} product "
+                        "subset pairs"
+                    )
+                seen.add(nxt)
+                queue.append((word + (symbol,), nxt))
+        return None
+
+    def has_cycle_on_live_path(self) -> bool:
+        """Is the accepted language infinite?
+
+        True iff some cycle is both reachable from the initial state
+        and co-accessible (can still reach a final state).  Used to
+        decide whether a query language can be exhaustively enumerated.
+        """
+        live = self.coaccessible_states()
+        reachable: set[State] = set()
+        stack = [self._initial]
+        while stack:
+            state = stack.pop()
+            if state in reachable:
+                continue
+            reachable.add(state)
+            for targets in self._delta.get(state, {}).values():
+                stack.extend(targets)
+        core = reachable & live
+        # Cycle detection by iterated removal of sink states.
+        out_edges = {
+            state: {
+                dst
+                for targets in self._delta.get(state, {}).values()
+                for dst in targets
+                if dst in core
+            }
+            for state in core
+        }
+        changed = True
+        while changed:
+            changed = False
+            for state in list(out_edges):
+                if not out_edges[state]:
+                    del out_edges[state]
+                    for remaining in out_edges.values():
+                        remaining.discard(state)
+                    changed = True
+        return bool(out_edges)
+
     def enumerate_words(
         self, max_length: int, max_count: int | None = None
     ) -> Iterator[tuple[str, ...]]:

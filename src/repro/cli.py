@@ -55,6 +55,23 @@ Commands
     instance cold and through a warmed implication cache and treats
     any verdict difference as a disagreement.
 
+``query run GRAPH PATTERN``
+    Evaluate a regular path query; prints answer nodes plus product
+    and edge statistics.
+``query contains CONSTRAINTS LEFT RIGHT [--context CTX] [--schema X]``
+    Three-valued containment of two RPQs under constraints: exit 0
+    with a definite true/false, 2 on UNKNOWN, 3 on error.  Exact on
+    the decidable cells (EGD-free word constraints; M with a schema),
+    sound-but-incomplete elsewhere.
+``query optimize CONSTRAINTS BRANCH [BRANCH ...]``
+    Prune subsumed/duplicate union branches and rewrite surviving
+    words to their shortest provable equivalents; regex branches are
+    pruned through the containment checker instead.
+``query fuzz [--seed N] [--rounds N] [--json-out FILE]``
+    Differential fuzz of the query layer: optimized and unoptimized
+    unions must agree on every sampled Sigma-model, and containment
+    verdicts are cross-checked directionally; exit 1 on any hit.
+
 Constraint files use the line syntax (``#`` comments allowed)::
 
     book :: author ~> wrote
@@ -465,6 +482,147 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+_REGEX_META = set("|*+?()_")
+
+
+def _is_regex_pattern(text: str) -> bool:
+    return any(ch in _REGEX_META for ch in text)
+
+
+def _cmd_query_run(args: argparse.Namespace) -> int:
+    from repro.query import evaluate_rpq
+
+    graph = _load_graph(args.graph)
+    result = evaluate_rpq(graph, args.pattern)
+    for node in sorted(result.answers, key=repr):
+        print(node)
+    print(
+        f"# {len(result.answers)} answer(s), "
+        f"{result.product_states_visited} product state(s), "
+        f"{result.edges_traversed} edge(s) traversed",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_query_contains(args: argparse.Namespace) -> int:
+    from repro.query import QueryContainmentChecker
+
+    sigma = _load_constraints(args.constraints)
+    schema = _load_schema(args.schema) if args.schema else None
+    cache = _build_cache(args)
+    checker = QueryContainmentChecker(
+        sigma,
+        context=args.context,
+        schema=schema,
+        cache=cache,
+        jobs=_parse_jobs(args.jobs),
+        deadline=args.deadline,
+    )
+    try:
+        result = checker.contains(args.left, args.right)
+    finally:
+        if cache is not None:
+            cache.flush_counters()
+    print(f"verdict:    {result.verdict.value}")
+    print(f"method:     {result.method}")
+    print(f"cell:       {'decidable' if result.decidable else 'sound-incomplete'}")
+    if result.witness is not None:
+        print(f"witness:    {result.witness}")
+    for note in result.notes:
+        print(f"note:       {note}")
+    if checker.stats["solve_calls"]:
+        print(
+            f"dispatcher: {checker.stats['solve_calls']} solve(s), "
+            f"{checker.stats['cache_hits']} cache hit(s)"
+        )
+    return 0 if result.verdict.is_definite else 2
+
+
+def _cmd_query_optimize(args: argparse.Namespace) -> int:
+    sigma = _load_constraints(args.constraints)
+    cache = _build_cache(args)
+    jobs = _parse_jobs(args.jobs)
+    try:
+        if any(_is_regex_pattern(b) for b in args.branch):
+            from repro.query import (
+                QueryContainmentChecker,
+                optimize_rpq_union,
+            )
+
+            schema = _load_schema(args.schema) if args.schema else None
+            checker = QueryContainmentChecker(
+                sigma,
+                context=args.context,
+                schema=schema,
+                cache=cache,
+                jobs=jobs,
+                deadline=args.deadline,
+            )
+            report = optimize_rpq_union(args.branch, checker)
+            stats = checker.stats
+        else:
+            from repro.query import WordQueryOptimizer
+
+            optimizer = WordQueryOptimizer(
+                sigma, cache=cache, jobs=jobs, deadline=args.deadline
+            )
+            report = optimizer.optimize_union(
+                args.branch, rewrite=not args.no_rewrite
+            )
+            stats = optimizer.stats
+    finally:
+        if cache is not None:
+            cache.flush_counters()
+    print(f"original:   {' | '.join(str(b) for b in report.original)}")
+    print(f"optimized:  {' | '.join(str(b) for b in report.optimized)}")
+    print(f"saved:      {report.branches_saved} branch(es)")
+    for dropped, absorber in report.pruned:
+        kind = "duplicate" if str(dropped) == str(absorber) else "subsumed"
+        print(f"pruned:     {dropped} ({kind}, absorbed by {absorber})")
+    for source, target in getattr(report, "rewrites", ()):
+        print(f"rewritten:  {source} -> {target}")
+    for note in report.notes:
+        print(f"note:       {note}")
+    if stats["solve_calls"]:
+        print(
+            f"dispatcher: {stats['solve_calls']} solve(s), "
+            f"{stats['cache_hits']} cache hit(s)"
+        )
+    return 0
+
+
+def _cmd_query_fuzz(args: argparse.Namespace) -> int:
+    from repro.diffcheck import fuzz_queries
+
+    report = fuzz_queries(
+        seed=args.seed,
+        rounds=args.rounds,
+        deadline=args.deadline,
+        shrink=not args.no_shrink,
+    )
+    if args.json_out:
+        _write_json_atomic(args.json_out, report.to_json())
+        print(f"report written to {args.json_out}", file=sys.stderr)
+    print(report.summary())
+    for record in report.disagreements:
+        print()
+        print(
+            f"DISAGREEMENT [seed={record.seed} index={record.index}] "
+            f"{record.kind}: {record.detail}"
+        )
+        print("  shrunk sigma:")
+        for line in record.shrunk_sigma:
+            print(f"    {line}")
+        print(f"  shrunk query: {record.shrunk_query}")
+        print("  regression test:")
+        for line in record.regression_test.splitlines():
+            print(f"    {line}")
+    if report.aborted:
+        return 130
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -703,6 +861,77 @@ def build_parser() -> argparse.ArgumentParser:
         "implication cache and fail on any verdict difference",
     )
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "query",
+        help="regular path queries: evaluate, contain, optimize, fuzz",
+    )
+    qsub = p.add_subparsers(dest="query_command", required=True)
+
+    q = qsub.add_parser("run", help="evaluate an RPQ against a graph file")
+    q.add_argument("graph")
+    q.add_argument("pattern")
+    q.set_defaults(func=_cmd_query_run)
+
+    q = qsub.add_parser(
+        "contains",
+        help="three-valued RPQ containment under constraints "
+        "(exit 0 definite, 2 unknown, 3 error)",
+    )
+    q.add_argument("constraints")
+    q.add_argument("left")
+    q.add_argument("right")
+    q.add_argument(
+        "--context",
+        choices=[c.value for c in Context],
+        default=Context.SEMISTRUCTURED.value,
+    )
+    q.add_argument("--schema", help="XML-Data schema file (typed contexts)")
+    q.add_argument("--jobs", default="auto", metavar="N|auto")
+    q.add_argument("--deadline", type=float, default=None, metavar="SECONDS")
+    q.add_argument("--no-cache", action="store_true")
+    q.add_argument("--cache-dir", metavar="DIR")
+    q.set_defaults(func=_cmd_query_contains)
+
+    q = qsub.add_parser(
+        "optimize",
+        help="prune and rewrite a union query under constraints "
+        "(word unions use the dispatcher-backed word optimizer; "
+        "regex branches route through the containment checker)",
+    )
+    q.add_argument("constraints")
+    q.add_argument("branch", nargs="+", help="union branches")
+    q.add_argument(
+        "--context",
+        choices=[c.value for c in Context],
+        default=Context.SEMISTRUCTURED.value,
+    )
+    q.add_argument("--schema", help="XML-Data schema file (typed contexts)")
+    q.add_argument(
+        "--no-rewrite",
+        action="store_true",
+        help="prune subsumed branches only, keep surviving words as-is",
+    )
+    q.add_argument("--jobs", default="auto", metavar="N|auto")
+    q.add_argument("--deadline", type=float, default=None, metavar="SECONDS")
+    q.add_argument("--no-cache", action="store_true")
+    q.add_argument("--cache-dir", metavar="DIR")
+    q.set_defaults(func=_cmd_query_optimize)
+
+    q = qsub.add_parser(
+        "fuzz",
+        help="differential fuzz of the query layer: optimized vs "
+        "unoptimized answers on Sigma-models, containment verdicts "
+        "vs brute-force inclusion (exit 0 clean, 1 disagreement)",
+    )
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--rounds", type=int, default=25, metavar="N")
+    q.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS"
+    )
+    q.add_argument("--no-shrink", action="store_true")
+    q.add_argument("--json-out", metavar="FILE")
+    q.set_defaults(func=_cmd_query_fuzz)
 
     return parser
 

@@ -41,6 +41,11 @@ from repro.diffcheck.oracles import (
     run_engines,
     run_named_engine,
 )
+from repro.diffcheck.queryfuzz import (
+    QueryDisagreementRecord,
+    QueryFuzzReport,
+    fuzz_queries,
+)
 from repro.diffcheck.shrink import emit_regression_test, shrink_instance
 from repro.diffcheck.runner import FuzzReport, fuzz, make_reproducer
 
@@ -59,4 +64,7 @@ __all__ = [
     "FuzzReport",
     "fuzz",
     "make_reproducer",
+    "QueryDisagreementRecord",
+    "QueryFuzzReport",
+    "fuzz_queries",
 ]

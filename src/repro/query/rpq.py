@@ -20,7 +20,13 @@ from repro.paths import Path
 
 @dataclass(frozen=True)
 class RPQResult:
-    """Answer set plus evaluation statistics."""
+    """Answer set plus evaluation statistics.
+
+    ``edges_traversed`` counts *distinct graph edges* the product
+    search crossed — each ``(node, label, target)`` edge at most once,
+    however many automaton states happened to be paired with its
+    source node.
+    """
 
     pattern: str
     answers: frozenset[Node]
@@ -39,7 +45,7 @@ def evaluate_rpq(
     ['person1', 'person2']
     """
     nfa = compile_regex(pattern, alphabet=graph.labels())
-    return _evaluate_nfa(graph, nfa, pattern, start)
+    return evaluate_nfa(graph, nfa, pattern, start)
 
 
 def evaluate_word(
@@ -48,12 +54,14 @@ def evaluate_word(
     """Evaluate a plain word query (single path) with the same stats."""
     path = Path.coerce(path)
     nfa = NFA.for_word(path.labels)
-    return _evaluate_nfa(graph, nfa, str(path), start)
+    return evaluate_nfa(graph, nfa, str(path), start)
 
 
-def _evaluate_nfa(
-    graph: Graph, nfa: NFA, pattern: str, start: Node | None
+def evaluate_nfa(
+    graph: Graph, nfa: NFA, pattern: str, start: Node | None = None
 ) -> RPQResult:
+    """Evaluate a pre-built query automaton (the entry point the
+    constraint-aware optimizer uses after pruning the automaton)."""
     start_node = graph.root if start is None else start
     initial_states = nfa.epsilon_closure([nfa.initial])
     queue: deque[tuple[Node, object]] = deque(
@@ -62,15 +70,20 @@ def _evaluate_nfa(
     visited: set[tuple[Node, object]] = set(queue)
     answers: set[Node] = set()
     finals = nfa.finals
-    edges = 0
+    edges_seen: set[tuple[Node, str, Node]] = set()
     for node, state in visited:
         if state in finals:
             answers.add(node)
     while queue:
         node, state = queue.popleft()
         for label, target in graph.out_edges(node):
-            for next_state in nfa.step([state], label):
-                edges += 1
+            moved = nfa.step([state], label)
+            if not moved:
+                continue
+            # The edge was crossed in the product; count it once no
+            # matter how many automaton states pair with this node.
+            edges_seen.add((node, label, target))
+            for next_state in moved:
                 pair = (target, next_state)
                 if pair in visited:
                     continue
@@ -82,5 +95,9 @@ def _evaluate_nfa(
         pattern=pattern,
         answers=frozenset(answers),
         product_states_visited=len(visited),
-        edges_traversed=edges,
+        edges_traversed=len(edges_seen),
     )
+
+
+# Backwards-compatible alias (pre-optimizer internal name).
+_evaluate_nfa = evaluate_nfa

@@ -170,6 +170,55 @@ class PrefixRewriteSystem:
                         changed = True
         return nfa
 
+    def post_star_of_nfa(self, nfa: NFA) -> NFA:
+        """An NFA accepting ``post*(L(nfa))``: every word derivable
+        from *some* member of the seed language.
+
+        Generalizes :meth:`post_star_automaton` from a one-word seed to
+        an arbitrary NFA — same spine construction, same saturation
+        loop, same termination argument (states never grow beyond the
+        seed's states plus one spine per rule, so only finitely many
+        final edges can be added).  The seed automaton is not mutated.
+        """
+        out = nfa.copy()
+        q0 = out.initial
+        # Spine states must be fresh even when the seed is itself a
+        # saturation result (chained post* calls), hence the nonce.
+        existing = out.states
+        nonce = 0
+        while any(
+            isinstance(s, tuple) and s[:2] == ("post*", nonce)
+            for s in existing
+        ):
+            nonce += 1
+        tails: list[tuple[object, object]] = []
+        for index, (_, rhs) in enumerate(self._rules):
+            if len(rhs) == 0:
+                tails.append((q0, EPSILON))
+            elif len(rhs) == 1:
+                tails.append((q0, rhs.labels[0]))
+            else:
+                prev = q0
+                for j, symbol in enumerate(rhs.labels[:-1]):
+                    state = ("post*", nonce, index, j)
+                    out.add_transition(prev, symbol, state)
+                    prev = state
+                tails.append((prev, rhs.labels[-1]))
+        changed = True
+        while changed:
+            changed = False
+            for index, (lhs, _) in enumerate(self._rules):
+                src, symbol = tails[index]
+                for q in out.states_reachable_reading(lhs.labels):
+                    if out.add_transition(src, symbol, q):
+                        changed = True
+        return out
+
+    def pre_star_of_nfa(self, nfa: NFA) -> NFA:
+        """An NFA accepting ``pre*(L(nfa))``: every word that derives
+        *into* the seed language (``post*`` of the inverse system)."""
+        return self.inverse().post_star_of_nfa(nfa)
+
     def derives(self, source: Path | str, target: Path | str) -> bool:
         """Is ``target`` reachable from ``source``?
 

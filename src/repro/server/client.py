@@ -202,6 +202,46 @@ class ServerClient:
             "check", graph=graph, constraints=list(constraints)
         )
 
+    def query_contains(
+        self,
+        sigma: list[str],
+        left: str,
+        right: str,
+        context: str = "semistructured",
+        schema: str | None = None,
+        budget_ms: int | None = None,
+    ) -> dict:
+        """Three-valued RPQ containment, solved server-side."""
+        return self.request(
+            "query",
+            action="contains",
+            sigma=list(sigma),
+            left=left,
+            right=right,
+            context=context,
+            schema=schema,
+            budget_ms=budget_ms,
+        )
+
+    def query_optimize(
+        self,
+        sigma: list[str],
+        branches: list[str],
+        context: str = "semistructured",
+        schema: str | None = None,
+        budget_ms: int | None = None,
+    ) -> dict:
+        """Constraint-aware union optimization, solved server-side."""
+        return self.request(
+            "query",
+            action="optimize",
+            sigma=list(sigma),
+            branches=list(branches),
+            context=context,
+            schema=schema,
+            budget_ms=budget_ms,
+        )
+
     def health(self) -> dict:
         return self.request("health")
 

@@ -141,6 +141,7 @@ class ImplicationServer:
             "requests": 0,
             "imply": 0,
             "check": 0,
+            "query": 0,
             "health": 0,
             "stats": 0,
             "shutdown": 0,
@@ -337,6 +338,8 @@ class ImplicationServer:
             return protocol.draining_response(request_id)
         if op == "imply":
             return await self._handle_imply(request)
+        if op == "query":
+            return await self._handle_query(request)
         return await self._handle_check(request)
 
     def _health_response(self, request_id: Any) -> dict:
@@ -684,6 +687,182 @@ class ImplicationServer:
             ),
         )
         response["dedup"] = {"role": role}
+        response["elapsed_ms"] = round(outcome.elapsed_ms, 3)
+        return response
+
+    # -- query --------------------------------------------------------
+
+    async def _handle_query(self, request: dict) -> dict:
+        """Constraint-aware query ops: ``contains`` and ``optimize``.
+
+        Rides the same admission queue and solver threads as
+        ``imply``/``check`` and shares the daemon's implication cache,
+        so repeated containment questions across requests replay
+        stored verdicts.
+        """
+        request_id = request.get("id")
+        try:
+            action = request.get("action")
+            if action not in ("contains", "optimize"):
+                raise ValueError(
+                    f"action must be 'contains' or 'optimize', "
+                    f"got {action!r}"
+                )
+            sigma_lines = request.get("sigma")
+            if not isinstance(sigma_lines, list) or not all(
+                isinstance(line, str) for line in sigma_lines
+            ):
+                raise ValueError("sigma must be a list of constraint lines")
+            sigma = parse_constraints("\n".join(sigma_lines))
+            context = str(request.get("context", "semistructured"))
+            schema = None
+            schema_text = request.get("schema")
+            if schema_text is not None:
+                from repro.xml import schema_from_xml_data
+
+                schema = schema_from_xml_data(schema_text)
+            if action == "contains":
+                left = request["left"]
+                right = request["right"]
+                if not isinstance(left, str) or not isinstance(right, str):
+                    raise ValueError("left/right must be pattern strings")
+                branches = None
+            else:
+                branches = request.get("branches")
+                if not isinstance(branches, list) or not all(
+                    isinstance(b, str) for b in branches
+                ) or not branches:
+                    raise ValueError(
+                        "branches must be a non-empty list of patterns"
+                    )
+                left = right = None
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            self.counters["errors"] += 1
+            return protocol.error_response(
+                request_id, f"bad query request: {exc}"
+            )
+        budget_ms = request.get("budget_ms", self.config.default_budget_ms)
+        deadline = (
+            None
+            if budget_ms is None
+            else time.monotonic() + float(budget_ms) / 1e3
+        )
+
+        def run_query() -> FlightOutcome:
+            from repro.query import (
+                QueryContainmentChecker,
+                WordQueryOptimizer,
+                optimize_rpq_union,
+            )
+
+            start = time.monotonic()
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return FlightOutcome(
+                        kind="rejected",
+                        reason="deadline expired before the solve started",
+                    )
+            try:
+                if action == "contains":
+                    checker = QueryContainmentChecker(
+                        sigma,
+                        context=context,
+                        schema=schema,
+                        cache=self.config.cache,
+                        jobs=self.config.jobs,
+                        deadline=remaining,
+                    )
+                    result = checker.contains(left, right)
+                    wire = {
+                        "action": "contains",
+                        "verdict": result.verdict.value,
+                        "method": result.method,
+                        "decidable": result.decidable,
+                        "witness": (
+                            None
+                            if result.witness is None
+                            else str(result.witness)
+                        ),
+                        "notes": list(result.notes),
+                        "stats": dict(checker.stats),
+                    }
+                elif any("|" in b or "*" in b or "(" in b for b in branches):
+                    checker = QueryContainmentChecker(
+                        sigma,
+                        context=context,
+                        schema=schema,
+                        cache=self.config.cache,
+                        jobs=self.config.jobs,
+                        deadline=remaining,
+                    )
+                    report = optimize_rpq_union(branches, checker)
+                    wire = {
+                        "action": "optimize",
+                        "original": list(report.original),
+                        "optimized": list(report.optimized),
+                        "pruned": [list(pair) for pair in report.pruned],
+                        "emptied": list(report.emptied),
+                        "branches_saved": report.branches_saved,
+                        "notes": list(report.notes),
+                        "stats": dict(checker.stats),
+                    }
+                else:
+                    optimizer = WordQueryOptimizer(
+                        sigma,
+                        cache=self.config.cache,
+                        jobs=self.config.jobs,
+                        deadline=remaining,
+                    )
+                    report = optimizer.optimize_union(branches)
+                    wire = {
+                        "action": "optimize",
+                        "original": [str(b) for b in report.original],
+                        "optimized": [str(b) for b in report.optimized],
+                        "pruned": [
+                            [str(a), str(b)] for a, b in report.pruned
+                        ],
+                        "rewrites": [
+                            [str(a), str(b)] for a, b in report.rewrites
+                        ],
+                        "branches_saved": report.branches_saved,
+                        "labels_saved": report.labels_saved,
+                        "notes": list(report.notes),
+                        "stats": dict(optimizer.stats),
+                    }
+            except (ReproError, ValueError) as exc:
+                return FlightOutcome(
+                    kind="error", error=f"{type(exc).__name__}: {exc}"
+                )
+            return FlightOutcome(
+                kind="solved",
+                wire=wire,
+                elapsed_ms=(time.monotonic() - start) * 1e3,
+            )
+
+        future: asyncio.Future[FlightOutcome] = (
+            asyncio.get_running_loop().create_future()
+        )
+        admission_error = self._admit(
+            _Admitted(
+                op="query",
+                solve_fn=run_query,
+                deadline=deadline,
+                future=future,
+                admitted_at=time.monotonic(),
+            ),
+            request_id,
+            deadline,
+        )
+        if admission_error is not None:
+            return admission_error
+        outcome = await asyncio.shield(future)
+        if outcome.kind == "rejected":
+            return protocol.rejected_response(request_id, outcome.reason)
+        if outcome.kind == "error":
+            return protocol.error_response(request_id, outcome.error)
+        response = protocol.ok_response(request_id, **(outcome.wire or {}))
         response["elapsed_ms"] = round(outcome.elapsed_ms, 3)
         return response
 

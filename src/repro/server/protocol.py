@@ -20,6 +20,13 @@ Operations
 ``check``
     ``graph`` (the ``repro.graph.serialize`` dict format) +
     ``constraints`` (list of lines); returns the validation summary.
+``query``
+    constraint-aware query operations.  ``action`` picks one:
+    ``contains`` (``sigma`` lines, ``left``/``right`` patterns,
+    optional ``context``/``schema``) returns the three-valued
+    containment verdict, method and witness; ``optimize`` (``sigma``
+    lines + ``branches`` list) returns the optimized union with
+    pruning/rewriting accounting.
 ``health``
     liveness + lifecycle state (``serving``/``draining``).
 ``stats``
@@ -59,7 +66,7 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 8 << 20
 
 #: The closed set of request operations.
-OPS = ("imply", "check", "health", "stats", "shutdown")
+OPS = ("imply", "check", "query", "health", "stats", "shutdown")
 
 #: Response statuses (closed vocabulary; clients switch on these).
 STATUSES = ("ok", "overloaded", "draining", "rejected", "error")

@@ -115,6 +115,21 @@ class SchemaSignature:
             dfa.add_final(self.sort_name(state))
         return dfa
 
+    def paths_nfa(self) -> "NFA":
+        """The Paths(Delta) automaton as an :class:`NFA` (all states
+        accepting), ready for product constructions with query
+        automata and the ``post*`` saturation engine."""
+        from repro.automata.nfa import NFA
+
+        nfa = NFA(initial=self.sort_name(self.root_type))
+        for (src, label), dst in self._transitions.items():
+            nfa.add_transition(
+                self.sort_name(src), label, self.sort_name(dst)
+            )
+        for state in self._states:
+            nfa.add_final(self.sort_name(state))
+        return nfa
+
     def type_of_path(self, path: Path | str) -> Type | None:
         """The sort a valid path lands on; None when the path is not in
         Paths(Delta)."""

@@ -283,3 +283,80 @@ class TestFuzzCommand:
         rc = main(["fuzz", "--per-fragment", "1", "--fragment", "nope"])
         assert rc == 3
         assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_run_prints_answers(self, workspace, capsys):
+        _, graph, _ = workspace
+        assert main(["query", "run", graph, "book.(ref)*.author"]) == 0
+        captured = capsys.readouterr()
+        assert "8 edge(s) traversed" in captured.err
+        assert captured.out.strip()
+
+    def test_contains_true_exit_zero(self, workspace, capsys):
+        _, _, sigma = workspace
+        rc = main(
+            ["query", "contains", sigma, "book.author", "person",
+             "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verdict:    true" in out
+        # The workspace Sigma carries a backward constraint, so the
+        # checker lands on the sound-incomplete cell and says so.
+        assert "sound-word-saturation" in out
+        assert "sound-incomplete" in out
+
+    def test_contains_false_exit_zero_with_witness(
+        self, workspace, capsys
+    ):
+        _, _, sigma = workspace
+        rc = main(
+            ["query", "contains", sigma, "person", "book.author",
+             "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verdict:    false" in out
+        assert "witness:" in out
+
+    def test_contains_unknown_exit_two(self, tmp_path, capsys):
+        sigma = tmp_path / "egd.txt"
+        sigma.write_text("a => a.a\nb.b => ()\n")
+        rc = main(
+            ["query", "contains", str(sigma), "a.b", "c",
+             "--deadline", "1", "--no-cache"]
+        )
+        assert rc == 2
+        assert "unknown" in capsys.readouterr().out
+
+    def test_contains_bad_pattern_exit_three(self, workspace, capsys):
+        _, _, sigma = workspace
+        rc = main(
+            ["query", "contains", sigma, "book.((", "person",
+             "--no-cache"]
+        )
+        assert rc == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_optimize_reports_pruning(self, workspace, capsys):
+        _, _, sigma = workspace
+        rc = main(
+            ["query", "optimize", sigma,
+             "book.author", "book.author", "person", "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "saved:" in out
+        assert "duplicate" in out
+
+    def test_fuzz_clean_run(self, tmp_path, capsys):
+        report_file = tmp_path / "fuzz.json"
+        rc = main(
+            ["query", "fuzz", "--seed", "0", "--rounds", "3",
+             "--json-out", str(report_file)]
+        )
+        assert rc == 0
+        payload = json.loads(report_file.read_text())
+        assert payload["rounds"] == 3
+        assert payload["disagreements"] == []

@@ -303,3 +303,52 @@ class TestFuzz:
             config=OracleConfig(portfolio_jobs=(1, 4)),
         )
         assert report.ok, [d.to_dict() for d in report.disagreements]
+
+
+class TestQueryFuzz:
+    """The query-layer differential fragment (optimizer + containment)."""
+
+    def test_fixed_seed_run_is_clean(self):
+        from repro.diffcheck import fuzz_queries
+
+        report = fuzz_queries(seed=0, rounds=5)
+        assert report.ok
+        assert report.rounds == 5
+        assert not report.aborted
+        assert report.optimizer_checks == 5
+        assert report.containment_checks == 5
+        assert report.models_checked > 0
+
+    def test_report_shape_round_trips(self):
+        import json
+
+        from repro.diffcheck import fuzz_queries
+
+        report = fuzz_queries(seed=1, rounds=3)
+        payload = json.loads(report.to_json())
+        for key in (
+            "seed",
+            "rounds",
+            "verdicts",
+            "branches_saved",
+            "disagreements",
+            "models_checked",
+        ):
+            assert key in payload
+        assert "clean" in report.summary() or "disagreement" in report.summary()
+
+    def test_deterministic_replay(self):
+        from repro.diffcheck import fuzz_queries
+
+        first = fuzz_queries(seed=7, rounds=4)
+        second = fuzz_queries(seed=7, rounds=4)
+        assert first.to_dict()["verdicts"] == second.to_dict()["verdicts"]
+        assert first.branches_saved == second.branches_saved
+
+    def test_deadline_cuts_run_short(self):
+        from repro.diffcheck import fuzz_queries
+
+        report = fuzz_queries(seed=0, rounds=10_000, deadline=0.5)
+        assert report.deadline_hit
+        assert report.rounds < 10_000
+        assert report.ok

@@ -155,3 +155,93 @@ def test_optimizer_sound_on_chased_graphs(rules, branches, seed):
     optimized, _, _ = optimizer.evaluate_union(graph, branches, optimize=True)
     plain, _, _ = optimizer.evaluate_union(graph, branches, optimize=False)
     assert optimized == plain
+
+
+class TestRegressions:
+    """Pinned behaviors from the query-layer bugfix pass."""
+
+    def test_edges_traversed_counts_each_edge_once(self, fig1):
+        # figure 1 has 3 book-, 1 ref- and 4 author-edges reachable by
+        # book.(ref)*.author; the product walk must count each exactly
+        # once even when several NFA states visit the same node.
+        result = evaluate_rpq(fig1, "book.(ref)*.author")
+        assert result.edges_traversed == 8
+
+    def test_edges_never_exceed_graph_total(self, fig1):
+        total = fig1.edge_count()
+        for pattern in ("book.(ref)*.author", "(book|person)*", "book"):
+            assert evaluate_rpq(fig1, pattern).edges_traversed <= total
+
+    def test_mutual_subsumption_clique_keeps_shortlex_least(self):
+        sigma = parse_constraints("a => b\nb => c\nc => a")
+        optimizer = WordQueryOptimizer(sigma)
+        report = optimizer.optimize_union(["b", "c", "a"], rewrite=False)
+        assert report.optimized == (Path.parse("a"),)
+        assert report.branches_saved == 2
+        assert len(report.pruned) == 2
+        absorbers = {str(a) for _, a in report.pruned}
+        assert absorbers == {"a"}
+
+    def test_egd_sigma_is_conservative_not_fatal(self):
+        # a => a.a diverges the chase, so with the EGD present the word
+        # decider cannot settle the implication; the optimizer must keep
+        # the branch and say why, not crash.
+        sigma = parse_constraints("a => a.a\nb.b => ()")
+        optimizer = WordQueryOptimizer(sigma, deadline=2.0)
+        report = optimizer.optimize_union(["a.b", "c"], rewrite=False)
+        assert set(report.optimized) == {Path.parse("a.b"), Path.parse("c")}
+        assert report.branches_saved == 0
+        assert any("unsettled" in note for note in report.notes)
+
+    def test_duplicates_recorded_as_self_absorption(self):
+        optimizer = WordQueryOptimizer(())
+        report = optimizer.optimize_union(["a", "a", "a", "b"])
+        dup = Path.parse("a")
+        assert report.pruned.count((dup, dup)) == 2
+        assert report.branches_saved == 2
+        assert len(report.pruned) == report.branches_saved
+
+    def test_pruned_matches_branches_saved_with_rewrites(self):
+        sigma = parse_constraints(
+            "book.author => person\nperson.wrote => book"
+        )
+        optimizer = WordQueryOptimizer(sigma)
+        report = optimizer.optimize_union(
+            ["book.author", "book.author", "person", "book.author.wrote"]
+        )
+        assert len(report.pruned) == report.branches_saved
+        assert len(report.optimized) + report.branches_saved == len(
+            report.original
+        )
+
+    def test_shortest_equivalent_stable_under_extra_length(self):
+        # b.b == a.a.a == c in both directions: the optimum is "c" and
+        # allowing longer candidate words must never change it (shortlex
+        # order means a longer word cannot beat a shorter one).
+        sigma = parse_constraints(
+            "b.b => a.a.a\na.a.a => c\nc => a.a.a\na.a.a => b.b"
+        )
+        optimizer = WordQueryOptimizer(sigma)
+        best = optimizer.shortest_equivalent(Path.parse("b.b"))
+        assert best == Path.parse("c")
+        for extra in (1, 2):
+            assert (
+                optimizer.shortest_equivalent(
+                    Path.parse("b.b"), max_extra_length=extra
+                )
+                == best
+            )
+
+    def test_optimized_union_equivalent_on_figure1(self, fig1):
+        sigma = parse_constraints(
+            "book.author => person\nperson.wrote => book"
+        )
+        optimizer = WordQueryOptimizer(sigma)
+        branches = ["book.author", "person", "person", "book.author.wrote"]
+        optimized, _, report = optimizer.evaluate_union(
+            fig1, branches, optimize=True
+        )
+        plain, _, _ = optimizer.evaluate_union(fig1, branches, optimize=False)
+        assert optimized == plain
+        assert report is not None
+        assert len(report.pruned) == report.branches_saved

@@ -610,3 +610,70 @@ class TestSigtermDrainSubprocess:
         assert inflight["answer"] == "false"
         assert refused["status"] == "draining"
         assert returncode == 0
+
+
+class TestQueryOverTheWire:
+    def test_contains_word_cell(self):
+        with ServerHarness(port=0) as harness:
+            with harness.client() as client:
+                response = client.query_contains(
+                    WORD_SIGMA, "a", "c"
+                )
+                assert response["status"] == "ok"
+                assert response["verdict"] == "true"
+                assert response["method"] == "word-prestar-product"
+                assert response["decidable"] is True
+
+                refuted = client.query_contains(WORD_SIGMA, "c", "a")
+                assert refuted["verdict"] == "false"
+                assert refuted["witness"] == "c"
+
+    def test_optimize_word_union(self):
+        with ServerHarness(port=0) as harness:
+            with harness.client() as client:
+                response = client.query_optimize(
+                    WORD_SIGMA, ["a", "a", "b", "c"]
+                )
+                assert response["status"] == "ok"
+                assert response["branches_saved"] >= 1
+                assert len(response["pruned"]) == response[
+                    "branches_saved"
+                ]
+                assert "c" in response["optimized"]
+
+    def test_optimize_rpq_branches(self):
+        with ServerHarness(port=0) as harness:
+            with harness.client() as client:
+                response = client.query_optimize(
+                    ["book.ref => book"],
+                    ["book.(ref)*.author", "book.author"],
+                )
+                assert response["status"] == "ok"
+                assert response["optimized"] == ["book.(ref)*.author"]
+                assert response["branches_saved"] == 1
+
+    def test_bad_action_is_error_not_disconnect(self):
+        with ServerHarness(port=0) as harness:
+            with harness.client() as client:
+                response = client.request(
+                    "query", action="teleport", sigma=[], left="a",
+                    right="b",
+                )
+                assert response["status"] == "error"
+                # The connection survives a bad request.
+                assert client.health()["status"] == "ok"
+
+    def test_counter_and_budget(self):
+        with ServerHarness(port=0) as harness:
+            with harness.client() as client:
+                client.query_contains(WORD_SIGMA, "a", "c")
+                client.query_optimize(WORD_SIGMA, ["a", "b"])
+                stats = client.stats()
+                assert stats["counters"]["query"] == 2
+                # An over-tight budget degrades to unknown, not error.
+                response = client.query_contains(
+                    ["a => a.a", "b.b => ()"], "a.b", "c", budget_ms=1
+                )
+                assert response["status"] in ("ok", "rejected")
+                if response["status"] == "ok":
+                    assert response["verdict"] == "unknown"
