@@ -131,3 +131,43 @@ print(
     "server regression gate ok"
 )
 EOF
+
+# Chaos-regression gate: across the 3-seed wire-chaos sweep, the
+# failover client must keep availability >= 99% at a 30% connection
+# fault rate, no wire fault may flip a definite verdict, the wedged
+# solve must be reclaimed within twice the watchdog grace, and every
+# phase's daemon must have drained cleanly.
+python - <<'EOF'
+import json
+
+bench = json.load(open("BENCH_chaos.json"))["chaos"]
+bound = bench["reclaim_bound_ms"]
+floor = bench["availability_floor"]
+for run in bench["runs"]:
+    seed = run["seed"]
+    assert run["flips"] == 0, (
+        f"chaos gate: seed {seed} saw {run['flips']} verdict flip(s)"
+    )
+    assert run["availability"] >= floor, (
+        f"chaos gate: seed {seed} availability "
+        f"{run['availability']:.3f} below {floor}"
+    )
+    assert run["reclaim_ms"] < bound, (
+        f"chaos gate: seed {seed} reclaim {run['reclaim_ms']:.0f}ms "
+        f"at or above bound {bound}ms"
+    )
+    assert run["failover_recovered"], (
+        f"chaos gate: seed {seed} failover never recovered"
+    )
+    assert all(state == "stopped" for state in run["drains"]), (
+        f"chaos gate: seed {seed} left a daemon in {run['drains']}"
+    )
+    assert run["pass"], f"chaos gate: seed {seed}: {run['failures']}"
+worst_avail = min(run["availability"] for run in bench["runs"])
+worst_reclaim = max(run["reclaim_ms"] for run in bench["runs"])
+print(
+    f"availability>={worst_avail:.0%} flips=0 "
+    f"reclaim<={worst_reclaim:.0f}ms (bound {bound}ms): "
+    "chaos regression gate ok"
+)
+EOF

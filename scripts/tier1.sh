@@ -106,4 +106,13 @@ wait "$client_pid"
 wait "$server_pid"
 rm -f "$ready_file"
 
+# Chaos smoke: a fixed-seed wire-chaos sweep (fault-perpetrating TCP
+# proxy between a real client and a real daemon) plus the watchdog
+# reclaim and endpoint-failover phases.  Exit 0 means zero verdict
+# flips, availability held, the wedged solve was reclaimed in bounded
+# time, and every daemon drained cleanly; scripts/bench.sh runs the
+# 3-seed sweep with the JSON gate.
+python -m repro chaos --seed 7 --requests 20 --fault-rate 0.3 \
+    --watchdog-grace-ms 400
+
 exec python -m pytest -x -q "$@"

@@ -22,15 +22,23 @@ Commands
     and stored to the cross-request implication cache
     (``--cache-dir``/``$REPRO_CACHE_DIR``, default ``~/.cache/repro``;
     ``--no-cache`` bypasses it).
-    With ``--server HOST:PORT`` the query is sent to a running
-    ``repro serve`` daemon instead of being solved in-process.
+    With ``--server HOST:PORT[,HOST:PORT...]`` the query is sent to a
+    running ``repro serve`` daemon instead of being solved in-process;
+    multiple endpoints enable client-side failover.
 ``serve [--host H] [--port P] [--max-queue N] [--solver-threads N]``
     Run the long-lived implication server: a JSON-lines protocol
     (``imply``/``check``/``health``/``stats``/``shutdown``) with
     bounded-queue admission control, single-flight deduplication of
-    alpha-equivalent concurrent queries, and graceful SIGTERM drain
-    (in-flight work finishes, new work is refused, the warm pool is
-    retired).  See :mod:`repro.server`.
+    alpha-equivalent concurrent queries, a hung-solve watchdog
+    (``--watchdog-grace-ms``), per-worker memory ceilings
+    (``--max-worker-mb``), and graceful SIGTERM drain (in-flight work
+    finishes, new work is refused, the warm pool is retired).  See
+    :mod:`repro.server`.
+``chaos [--seed N] [--requests N] [--fault-rate R] [--json-out F]``
+    Seeded wire-level chaos sweep: real daemons, a real client, and a
+    fault-perpetrating TCP proxy; gates on zero verdict flips,
+    availability, bounded watchdog reclaim and endpoint failover.
+    See :mod:`repro.server.chaos`.
 ``cache stats|clear [--cache-dir DIR]``
     Inspect (entries, bytes, lifetime hit/miss/store counters) or
     empty the on-disk implication cache.
@@ -183,9 +191,9 @@ def _cmd_imply_remote(args: argparse.Namespace) -> int:
     and draining).
     """
     from repro.errors import ServerUnavailable
-    from repro.server import ServerClient, parse_host_port
+    from repro.server import ServerClient, parse_endpoints
 
-    host, port = parse_host_port(args.server)
+    endpoints = parse_endpoints(args.server)
     sigma_lines = FilePath(args.constraints).read_text().splitlines()
     budget_ms = (
         None if args.deadline is None else int(args.deadline * 1000)
@@ -195,7 +203,7 @@ def _cmd_imply_remote(args: argparse.Namespace) -> int:
     )
     jobs = _parse_jobs(args.jobs)
     try:
-        with ServerClient(host, port) as client:
+        with ServerClient(endpoints=endpoints) as client:
             response = client.imply(
                 sigma_lines,
                 args.query,
@@ -302,6 +310,8 @@ def _cmd_imply(args: argparse.Namespace) -> int:
             max_respawns=args.max_respawns,
             inject=inject,
             cache=cache,
+            max_worker_mb=args.max_worker_mb,
+            memory_guard_mb=args.memory_guard_mb,
         )
     finally:
         if cache is not None:
@@ -411,6 +421,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         inject=inject,
         allow_delay=args.allow_delay,
         port_file=args.port_file,
+        watchdog_grace_ms=args.watchdog_grace_ms,
+        watchdog_hard_grace_ms=args.watchdog_hard_grace_ms,
+        watchdog_max_solve_ms=args.watchdog_max_solve_ms,
+        max_worker_mb=args.max_worker_mb,
+        memory_guard_mb=args.memory_guard_mb,
     )
     server = ImplicationServer(config)
 
@@ -421,6 +436,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return server.run(announce=announce)
     except KeyboardInterrupt:  # pragma: no cover - signal-handler gap
         return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: the seeded wire-chaos acceptance sweep.
+
+    Runs real daemons, a real client and a fault-perpetrating TCP
+    proxy (:mod:`repro.server.chaos`), scores the sweep against a
+    clean in-process oracle, and gates on the service contract: no
+    verdict flips, availability, bounded watchdog reclaim, endpoint
+    failover, clean drains.  Exit 0 when every gate holds, 3 when any
+    fails — same contract as the fuzz harness.
+    """
+    from repro.server.chaos import run_chaos_sweep
+
+    report = run_chaos_sweep(
+        seed=args.seed,
+        requests=args.requests,
+        fault_rate=args.fault_rate,
+        watchdog_grace_ms=args.watchdog_grace_ms,
+    )
+    wire = report["wire"]
+    print(
+        f"wire:     {args.requests} requests at fault rate "
+        f"{args.fault_rate} (seed {args.seed}): "
+        f"{wire['ok_match']} ok, {wire['demoted']} demoted, "
+        f"{wire['flips']} flipped, {wire['unavailable']} unavailable"
+    )
+    print(
+        f"          availability {wire['availability']:.2%}, "
+        f"p99 {wire['p99_ms']:.1f} ms, faults "
+        + ", ".join(
+            f"{kind}={wire['proxy'][kind]}"
+            for kind in ("drop", "close", "partial", "garbage", "delay")
+        )
+    )
+    reclaim = report["reclaim"]
+    print(
+        f"reclaim:  wedged solve answered "
+        f"{reclaim['wedged_answer']!r} in {reclaim['wall_ms']:.0f} ms "
+        f"({reclaim['reclaim_ms']:.0f} ms past budget, bound "
+        f"{reclaim['bound_ms']} ms), {reclaim['threads_retired']} "
+        f"thread(s) retired"
+    )
+    failover = report["failover"]
+    print(
+        f"failover: killed endpoint A ({failover['killed_state']}), "
+        f"recovered on B: {failover['after_status']}/"
+        f"{failover['after_answer']}"
+    )
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.json_out}")
+    if report["pass"]:
+        print("chaos: PASS")
+        return 0
+    for failure in report["failures"]:
+        print(f"chaos: FAIL - {failure}", file=sys.stderr)
+    return 3
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -694,9 +769,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--server",
-        metavar="HOST:PORT",
+        metavar="HOST:PORT[,HOST:PORT...]",
         help="send the query to a running `repro serve` daemon "
-        "instead of solving locally",
+        "instead of solving locally; a comma-separated list enables "
+        "client-side failover across replicas",
+    )
+    p.add_argument(
+        "--max-worker-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="RLIMIT_AS ceiling per pool worker; a worker past it "
+        "dies with MemoryError and rides the crash-recovery path",
+    )
+    p.add_argument(
+        "--memory-guard-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="degrade pooled execution to in-process scans once this "
+        "process's RSS passes MB",
     )
     p.set_defaults(func=_cmd_imply)
 
@@ -758,10 +850,90 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--allow-delay",
         action="store_true",
-        help="honor the delay_ms request field (testing instrument "
-        "for queue/drain behavior)",
+        help="honor the delay_ms and wedge request fields (testing "
+        "instruments for queue/drain/watchdog behavior)",
+    )
+    p.add_argument(
+        "--watchdog-grace-ms",
+        type=int,
+        default=5000,
+        metavar="MS",
+        help="grace past a solve's deadline before the watchdog "
+        "trips its cooperative cancel flag (0 disables the watchdog)",
+    )
+    p.add_argument(
+        "--watchdog-hard-grace-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="further grace after the cooperative cancel before the "
+        "wedged solver thread is retired and replaced (default: same "
+        "as --watchdog-grace-ms)",
+    )
+    p.add_argument(
+        "--watchdog-max-solve-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="implicit watchdog deadline for solves that arrive "
+        "without a budget (default: unbudgeted solves are unwatched)",
+    )
+    p.add_argument(
+        "--max-worker-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="RLIMIT_AS ceiling per pool worker; a worker past it "
+        "dies with MemoryError and rides the crash-recovery path",
+    )
+    p.add_argument(
+        "--memory-guard-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="degrade pooled solves to in-process scans once the "
+        "daemon's RSS passes MB",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded wire-chaos sweep against a live daemon "
+        "(acceptance harness for the service layer)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="PRNG seed for the fault plan and request sequence",
+    )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=40,
+        metavar="N",
+        help="solve requests in the wire phase",
+    )
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.3,
+        metavar="R",
+        help="fraction of proxied connections that suffer a fault",
+    )
+    p.add_argument(
+        "--watchdog-grace-ms",
+        type=int,
+        default=500,
+        metavar="MS",
+        help="watchdog grace used by the sweep's daemons",
+    )
+    p.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="write the full JSON report here",
+    )
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
         "cache",

@@ -98,6 +98,18 @@ class RetryExhausted(RuntimeFaultError):
     """
 
 
+class HungSolveError(RuntimeFaultError):
+    """A solve ran past its deadline + grace and ignored cooperative
+    cancellation; its solver thread was retired by the watchdog.
+
+    The paper's implication problem is undecidable in the general
+    case, so unboundedly long solves are intrinsic to the workload —
+    this error is the runtime's honest acknowledgement that a
+    particular solve was abandoned, never evidence about the instance
+    itself.  Callers receive UNKNOWN, never a fabricated verdict.
+    """
+
+
 class InjectedFault(RuntimeFaultError):
     """A deliberate fault raised by the fault-injection layer.
 

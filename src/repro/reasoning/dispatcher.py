@@ -39,6 +39,7 @@ from repro.reasoning.costmodel import validate_jobs, validate_max_respawns
 from repro.reasoning.faultinject import FaultPlan
 from repro.reasoning.portfolio import Budget, run_portfolio
 from repro.reasoning.result import ImplicationResult
+from repro.reasoning.shm import CancelFlag
 from repro.reasoning.typed_m import implies_typed_m
 from repro.reasoning.word import implies_word
 from repro.truth import Trilean
@@ -276,6 +277,9 @@ def solve(
     inject: "FaultPlan | None" = None,
     execution: str = "auto",
     cache: "ImplicationCache | None" = None,
+    cancel: "CancelFlag | None" = None,
+    max_worker_mb: int | None = None,
+    memory_guard_mb: int | None = None,
 ) -> ImplicationResult:
     """Decide or semi-decide an implication problem.
 
@@ -312,6 +316,16 @@ def solve(
     runtime) and when ``with_proof`` asks for a certificate the entry
     cannot replay; UNKNOWN and fault-degraded results are never
     stored.  ``result.cache`` records what happened.
+
+    ``cancel`` (a caller-owned
+    :class:`~repro.reasoning.shm.CancelFlag`) lets an embedding
+    service cooperatively abort a portfolio solve from outside — the
+    daemon's hung-solve watchdog trips it past deadline + grace.
+    ``max_worker_mb`` caps each pool worker's address space
+    (``RLIMIT_AS``); ``memory_guard_mb`` degrades pooled execution to
+    the in-process sharded scan when this process's RSS is already
+    past the guard.  All three apply only to the undecidable-cell
+    portfolio path — decidable cells never fork workers.
     """
     validate_jobs(jobs)
     validate_max_respawns(max_respawns)
@@ -383,6 +397,9 @@ def solve(
             max_respawns=max_respawns,
             fault_plan=inject,
             execution=execution,
+            cancel=cancel,
+            max_worker_mb=max_worker_mb,
+            memory_guard_mb=memory_guard_mb,
         )
 
     if bypass is not None:

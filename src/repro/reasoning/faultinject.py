@@ -39,7 +39,20 @@ Every fault kind:
             executor's feeder and the future errors without the task
             ever reaching a worker (a no-op in-process: nothing is
             pickled there)
+``hang``    the task wedges — it sleeps in small increments, ignoring
+            deadlines and cooperative cancellation, forever
+            (``hang:ORD``) or for ``param`` seconds (``hang:ORD:SECS``)
+            before running; this models the undecidability-induced
+            non-returning solve the watchdog layer exists for
+``oom``     the task raises :class:`MemoryError`, exactly what a worker
+            whose ``RLIMIT_AS`` ceiling is hit observes — exercising
+            the OOM → :class:`~repro.errors.WorkerCrashError` mapping
 ==========  ============================================================
+
+Rate plans (``rate:R``) draw only from the original four transient
+kinds; ``hang``/``oom`` fire only when targeted explicitly, because a
+randomly drawn infinite hang would wedge an entire fuzz sweep rather
+than test anything.
 """
 
 from __future__ import annotations
@@ -55,7 +68,11 @@ from repro.errors import InjectedFault
 #: spec string in the :meth:`FaultPlan.from_spec` syntax.
 ENV_VAR = "REPRO_INJECT"
 
-_KINDS = ("kill", "raise", "delay", "corrupt")
+_KINDS = ("kill", "raise", "delay", "corrupt", "hang", "oom")
+
+#: Kinds a rate plan may draw.  Excludes ``hang`` (would wedge whole
+#: sweeps) and ``oom`` (targeted ceiling tests only).
+_RATE_KINDS = ("kill", "raise", "delay", "corrupt")
 
 #: Default sleep for ``delay`` faults drawn by rate plans (seconds).
 _RATE_DELAY = 0.02
@@ -135,6 +152,17 @@ class FaultPlan:
                     (int(fields[1]), FaultAction("delay", float(fields[2])))
                 )
                 continue
+            if kind == "hang":
+                # hang:ORD wedges forever; hang:ORD:SECS wedges that
+                # long (ignoring cancellation) and then runs the task.
+                if len(fields) not in (2, 3):
+                    raise ValueError(
+                        f"hang spec {part!r} needs an ordinal "
+                        "and optional seconds"
+                    )
+                secs = float(fields[2]) if len(fields) == 3 else 0.0
+                targeted.append((int(fields[1]), FaultAction("hang", secs)))
+                continue
             if len(fields) != 2:
                 raise ValueError(f"fault spec {part!r} needs a task ordinal")
             targeted.append((int(fields[1]), FaultAction(kind)))
@@ -161,7 +189,7 @@ class FaultPlan:
         if self.rate > 0.0:
             rng = random.Random(self.seed * 0x9E3779B1 + ordinal)
             if rng.random() < self.rate:
-                kind = rng.choice(_KINDS)
+                kind = rng.choice(_RATE_KINDS)
                 return FaultAction(
                     kind, _RATE_DELAY if kind == "delay" else 0.0
                 )
@@ -209,4 +237,13 @@ def invoke(action_kind: str, param: float, in_process: bool, fn, args,
         raise InjectedFault("injected mid-task fault")
     elif action_kind == "delay":
         time.sleep(param)
+    elif action_kind == "hang":
+        # Sleep in small increments so a *bounded* hang wakes up on
+        # time, but never consult any deadline or cancel flag: a hang
+        # is precisely a task that stopped cooperating.
+        end = None if param <= 0 else time.monotonic() + param
+        while end is None or time.monotonic() < end:
+            time.sleep(0.05)
+    elif action_kind == "oom":
+        raise MemoryError("injected worker memory-ceiling hit")
     return fn(*args)

@@ -48,7 +48,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.constraints.ast import PathConstraint
 from repro.graph.structure import Graph
@@ -85,6 +85,7 @@ from repro.reasoning.runtime import (
     warm_pool_stats,
 )
 from repro.reasoning.shm import CancelFlag, ScanArena
+from repro.reasoning.watchdog import current_rss_mb
 from repro.truth import Trilean
 from repro.types.typesys import Schema
 
@@ -223,9 +224,22 @@ def _shard_task(
     start: int,
     stop: int,
     deadline: float | None,
+    cancel_name: str | None = None,
 ) -> ShardReport:
+    should_stop = None
+    if cancel_name is not None:
+        flag = _worker_cancel(cancel_name)
+        should_stop = lambda: flag.is_set  # noqa: E731
     space = CodeSpace(node_count, labels)
-    return scan_codes(space, sigma, phi, start, stop, deadline=deadline)
+    return scan_codes(
+        space,
+        sigma,
+        phi,
+        start,
+        stop,
+        deadline=deadline,
+        should_stop=should_stop,
+    )
 
 
 def _shard_task_shm(
@@ -428,8 +442,10 @@ def _sequential_countermodel(
     labels: tuple[str, ...],
     max_nodes: int,
     budget: Budget,
+    cancel: CancelFlag | None = None,
 ) -> CountermodelOutcome:
     began = time.perf_counter()
+    cancel_name = cancel.name if cancel is not None else None
     out = CountermodelOutcome(levels=tuple(range(1, max_nodes + 1)))
     for node_count in range(1, max_nodes + 1):
         space = CodeSpace(node_count, labels)
@@ -442,6 +458,7 @@ def _sequential_countermodel(
             0,
             space.total,
             budget.deadline,
+            cancel_name,
             engine=f"countermodel[n={node_count}]",
         )
         if task.failed:
@@ -468,6 +485,7 @@ def _sharded_inline_countermodel(
     labels: tuple[str, ...],
     max_nodes: int,
     budget: Budget,
+    cancel: CancelFlag | None = None,
 ) -> CountermodelOutcome:
     """In-process sharded scan: chunked ranges, no pool, no pickling.
 
@@ -477,6 +495,7 @@ def _sharded_inline_countermodel(
     still applies) but too small to amortise a process pool.
     """
     began = time.perf_counter()
+    cancel_name = cancel.name if cancel is not None else None
     out = CountermodelOutcome(levels=tuple(range(1, max_nodes + 1)))
     for node_count in range(1, max_nodes + 1):
         total = CodeSpace.size(node_count, len(labels))
@@ -492,6 +511,7 @@ def _sharded_inline_countermodel(
                 start,
                 stop,
                 budget.deadline,
+                cancel_name,
                 engine=f"countermodel[n={node_count} {start}:{stop}]",
             )
             if task.failed:
@@ -831,6 +851,7 @@ def _sequential_typed(
     limit: int,
     max_oids: int,
     max_set_size: int,
+    cancel: CancelFlag | None = None,
 ) -> CountermodelOutcome:
     task = supervisor.submit(
         _typed_shard_task,
@@ -844,7 +865,7 @@ def _sequential_typed(
         1,
         budget.deadline,
         True,
-        None,
+        cancel.name if cancel is not None else None,
         engine="typed-countermodel",
     )
     if task.failed:
@@ -873,6 +894,9 @@ def run_portfolio(
     max_respawns: int = 2,
     fault_plan: FaultPlan | None = None,
     execution: str = "auto",
+    cancel: CancelFlag | None = None,
+    max_worker_mb: int | None = None,
+    memory_guard_mb: int | None = None,
 ) -> ImplicationResult:
     """Semi-decide an undecidable-cell implication with a portfolio.
 
@@ -896,6 +920,17 @@ def run_portfolio(
     :class:`~repro.reasoning.result.FaultReport`, and the
     :class:`~repro.reasoning.costmodel.ExecutionDecision` on
     ``result.execution``.
+
+    ``cancel`` is an optional caller-owned
+    :class:`~repro.reasoning.shm.CancelFlag`: every scan and chase of
+    this run polls it, so an embedding service (the daemon's hung-
+    solve watchdog) can cooperatively abort the solve from outside.
+    The caller keeps ownership — the flag is never released here.
+    ``max_worker_mb`` installs an ``RLIMIT_AS`` ceiling in every pool
+    worker; ``memory_guard_mb`` is the parent-side guard: when this
+    process's RSS is already past it, pooled execution (which would
+    fork more memory-hungry workers) degrades to the in-process
+    sharded scan before the box starts swapping.
     """
     # Imported here: dispatcher imports this module's Budget/run_portfolio.
     from repro.reasoning.dispatcher import Context, classify
@@ -922,6 +957,24 @@ def run_portfolio(
         decision = _decide_execution(
             "typed", typed_search_limit, requested, execution
         )
+    guard_note = None
+    if memory_guard_mb is not None and decision.mode is ExecMode.POOL:
+        rss = current_rss_mb()
+        if rss is not None and rss >= memory_guard_mb:
+            # Forking pool workers duplicates this process's footprint;
+            # past the guard that risks swapping the whole box.  The
+            # in-process sharded scan costs no extra resident memory.
+            guard_note = (
+                f"memory guard: parent rss {rss:.0f} MiB >= "
+                f"{memory_guard_mb} MiB; pooled execution degraded to "
+                "in-process sharded scan"
+            )
+            decision = replace(
+                decision,
+                mode=ExecMode.SHARDED,
+                reason=guard_note,
+                forced=True,
+            )
     notes = [
         f"{problem_class.value} over {context.value}: undecidable "
         "problem class; semi-decision with explicit budgets",
@@ -933,15 +986,19 @@ def run_portfolio(
         ),
         f"execution: {decision.describe()}",
     ]
+    if guard_note is not None:
+        notes.append(guard_note)
     if plan.active:
         notes.append(f"fault injection active: {plan.describe()}")
 
     pool_mode = decision.mode is ExecMode.POOL
     arena: ScanArena | None = None
-    cancel: CancelFlag | None = None
+    owned_cancel = False
     try:
         if pool_mode:
-            cancel = CancelFlag.create()
+            if cancel is None:
+                cancel = CancelFlag.create()
+                owned_cancel = True
             if untyped:
                 arena = _build_arena(
                     sigma, phi, labels, countermodel_nodes, decision.jobs
@@ -951,6 +1008,7 @@ def run_portfolio(
             budget=budget,
             plan=plan,
             max_respawns=max_respawns,
+            max_worker_mb=max_worker_mb,
         ) as supervisor:
             try:
                 result = _portfolio_race(
@@ -973,11 +1031,13 @@ def run_portfolio(
                 )
             finally:
                 # Decided (or aborted): stragglers on a warm pool must
-                # wind down before the next solve leases it.
+                # wind down before the next solve leases it.  Setting a
+                # caller-owned flag here is safe (the solve is over);
+                # only releasing it is the owner's call.
                 if cancel is not None:
                     cancel.set()
     finally:
-        if cancel is not None:
+        if owned_cancel:
             cancel.release()
         if arena is not None:
             arena.release()
@@ -1033,11 +1093,23 @@ def _portfolio_race(
         if untyped:
             if decision.mode is ExecMode.SHARDED:
                 search = _sharded_inline_countermodel(
-                    supervisor, sigma, phi, labels, countermodel_nodes, budget
+                    supervisor,
+                    sigma,
+                    phi,
+                    labels,
+                    countermodel_nodes,
+                    budget,
+                    cancel,
                 )
             else:
                 search = _sequential_countermodel(
-                    supervisor, sigma, phi, labels, countermodel_nodes, budget
+                    supervisor,
+                    sigma,
+                    phi,
+                    labels,
+                    countermodel_nodes,
+                    budget,
+                    cancel,
                 )
                 if search.examined and search.elapsed > 0:
                     observe_untyped_scan(search.examined, search.elapsed)
@@ -1051,6 +1123,7 @@ def _portfolio_race(
                 typed_search_limit,
                 typed_max_oids,
                 typed_max_set_size,
+                cancel,
             )
         return _combine(
             chase_state,

@@ -122,6 +122,7 @@ class _WarmPoolState:
     pool: ProcessPoolExecutor
     jobs: int
     leased: bool = False
+    max_worker_mb: int | None = None
 
 
 _WARM: _WarmPoolState | None = None
@@ -129,29 +130,75 @@ _WARM_SPAWNS = 0
 _WARM_REUSES = 0
 
 
-def _warm_acquire(jobs: int) -> tuple[ProcessPoolExecutor, bool]:
+def _limit_worker_memory(max_worker_mb: int) -> None:
+    """Pool initializer: cap this worker's address space (RLIMIT_AS).
+
+    Runs inside the freshly started worker process.  A scan that
+    balloons past the ceiling observes an ordinary ``MemoryError``
+    (or, if the allocator dies harder, an abrupt worker death) — both
+    ride the existing respawn/degrade/quarantine path instead of
+    OOM-killing the whole box.  Never raises: a platform without
+    ``resource`` (or a hard limit below the request) silently keeps
+    the tightest limit available.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return
+    limit = int(max_worker_mb) << 20
+    try:
+        _soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY and hard < limit:
+            limit = hard
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    except (ValueError, OSError):  # pragma: no cover - defensive
+        pass
+
+
+def _spawn_pool(jobs: int, max_worker_mb: int | None) -> ProcessPoolExecutor:
+    """A fresh pool, with the per-worker memory ceiling installed."""
+    if max_worker_mb is None:
+        return ProcessPoolExecutor(max_workers=jobs)
+    return ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_limit_worker_memory,
+        initargs=(max_worker_mb,),
+    )
+
+
+def _warm_acquire(
+    jobs: int, max_worker_mb: int | None = None
+) -> tuple[ProcessPoolExecutor, bool]:
     """Lease the warm pool (or spawn a tracked replacement).
 
     Returns ``(pool, tracked)``; a ``tracked`` pool should be returned
     via :func:`_warm_return` on clean shutdown.  An untracked pool
     (the warm pool was already leased by another supervisor) is the
-    caller's to tear down.
+    caller's to tear down.  A warm pool only satisfies a lease whose
+    memory ceiling matches — rlimits are installed at worker start and
+    cannot be retrofitted onto live processes.
     """
     global _WARM, _WARM_SPAWNS, _WARM_REUSES
     state = _WARM
     if state is not None and not state.leased:
         broken = getattr(state.pool, "_broken", False)
-        if not broken and state.jobs >= jobs:
+        if (
+            not broken
+            and state.jobs >= jobs
+            and state.max_worker_mb == max_worker_mb
+        ):
             state.leased = True
             _WARM_REUSES += 1
             return state.pool, True
-        # Too small or broken: retire it and spawn fresh below.
+        # Too small, broken, or wrong ceiling: retire and spawn fresh.
         _WARM = None
         _abandon_pool(state.pool)
         state = None
-    pool = ProcessPoolExecutor(max_workers=jobs)
+    pool = _spawn_pool(jobs, max_worker_mb)
     if state is None and (_WARM is None or not _WARM.leased):
-        _WARM = _WarmPoolState(pool=pool, jobs=jobs, leased=True)
+        _WARM = _WarmPoolState(
+            pool=pool, jobs=jobs, leased=True, max_worker_mb=max_worker_mb
+        )
         _WARM_SPAWNS += 1
         return pool, True
     return pool, False  # pragma: no cover - concurrent lease
@@ -285,6 +332,7 @@ class WorkerSupervisor:
         backoff_base: float = 0.05,
         backoff_cap: float = 1.0,
         keep_warm: bool = True,
+        max_worker_mb: int | None = None,
     ) -> None:
         self.jobs = max(1, jobs)
         self.inline = jobs <= 1
@@ -297,6 +345,8 @@ class WorkerSupervisor:
         #: lease the process-wide warm pool (and return it on a clean
         #: exit) instead of cold-spawning and terminating per run.
         self.keep_warm = keep_warm
+        #: per-worker RLIMIT_AS ceiling in MiB (None = uncapped).
+        self.max_worker_mb = max_worker_mb
         self._pool: ProcessPoolExecutor | None = None
         self._pool_tracked = False
         self._pool_gen = 0
@@ -436,9 +486,11 @@ class WorkerSupervisor:
     def _pool_or_spawn(self) -> ProcessPoolExecutor:
         if self._pool is None:
             if self.keep_warm:
-                self._pool, self._pool_tracked = _warm_acquire(self.jobs)
+                self._pool, self._pool_tracked = _warm_acquire(
+                    self.jobs, self.max_worker_mb
+                )
             else:
-                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+                self._pool = _spawn_pool(self.jobs, self.max_worker_mb)
                 self._pool_tracked = False
         return self._pool
 
@@ -470,6 +522,21 @@ class WorkerSupervisor:
             task._settle(future.result())
         elif isinstance(error, BrokenExecutor):
             self._handle_pool_break(task.engine, error)
+        elif isinstance(error, MemoryError):
+            # The worker hit its RLIMIT_AS ceiling.  Its heap is
+            # untrustworthy even though the process survived, so ride
+            # the same respawn/degrade/quarantine path as an abrupt
+            # worker death rather than retrying on the bloated pool.
+            self._record(
+                "worker-oom",
+                task.engine,
+                task.attempts,
+                str(error) or "MemoryError",
+            )
+            self._handle_pool_break(
+                task.engine,
+                WorkerCrashError(f"worker memory ceiling hit: {error}"),
+            )
         else:
             self._task_failure(task, error)
 

@@ -45,6 +45,7 @@ never re-registers cleanup.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import itertools
 import json
 import os
@@ -156,11 +157,19 @@ class CancelFlag:
         return self._shm.name
 
     def set(self) -> None:
-        self._shm.buf[0] = 1
+        with contextlib.suppress(Exception):
+            self._shm.buf[0] = 1
 
     @property
     def is_set(self) -> bool:
-        return self._shm.buf[0] != 0
+        # A released (closed/unlinked) flag reads as cancelled: the
+        # owner tearing the flag down mid-poll is itself a "stop now"
+        # signal, and abandoned solver threads may legitimately poll
+        # after the daemon reclaimed the segment.
+        try:
+            return self._shm.buf[0] != 0
+        except Exception:
+            return True
 
     def close(self) -> None:
         try:

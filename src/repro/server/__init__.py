@@ -16,8 +16,13 @@ monotonic budgets, the cross-request cache) to compose under
   propagation, graceful SIGTERM drain, warm-pool and cache sharing
   across connections;
 * :mod:`repro.server.client` — a blocking client library with
-  timeouts, capped-exponential retry with jitter, and honest fault
-  surfacing (``result.faults`` travels over the wire).
+  timeouts, capped-exponential retry with jitter, multi-endpoint
+  failover behind per-endpoint circuit breakers, and honest fault
+  surfacing (``result.faults`` travels over the wire);
+* :mod:`repro.server.chaos` — deterministic wire-level chaos: a
+  seeded fault-perpetrating TCP proxy, an embedded-daemon harness,
+  and the ``repro chaos`` acceptance sweep (no fault may flip a
+  definite verdict; wedged solves are reclaimed in bounded time).
 
 The connection/drain discipline follows EdgeDB's server (bounded
 queues, drain-then-exit) and Twisted's service idioms (one reactor,
@@ -27,7 +32,11 @@ Giacomo-Lenzerini) that an implication verdict is a pure function of
 the instance's structure.
 """
 
-from repro.server.client import ServerClient, parse_host_port
+from repro.server.client import (
+    ServerClient,
+    parse_endpoints,
+    parse_host_port,
+)
 from repro.server.daemon import ImplicationServer, ServerConfig
 from repro.server.protocol import PROTOCOL_VERSION
 from repro.server.singleflight import SingleFlightTable
@@ -38,5 +47,6 @@ __all__ = [
     "ServerClient",
     "ServerConfig",
     "SingleFlightTable",
+    "parse_endpoints",
     "parse_host_port",
 ]

@@ -52,7 +52,12 @@ from typing import Any, Callable
 
 from repro.checking import check_all
 from repro.constraints import parse_constraint, parse_constraints
-from repro.errors import GraphError, ProtocolError, ReproError
+from repro.errors import (
+    GraphError,
+    HungSolveError,
+    ProtocolError,
+    ReproError,
+)
 from repro.graph.serialize import from_dict as graph_from_dict
 from repro.graph.serialize import to_dict as graph_to_dict
 from repro.reasoning import (
@@ -68,6 +73,8 @@ from repro.reasoning.canonical import (
 )
 from repro.reasoning.faultinject import FaultPlan
 from repro.reasoning.runtime import retire_warm_pool, warm_pool_stats
+from repro.reasoning.shm import CancelFlag
+from repro.reasoning.watchdog import RetiringSolverPool, SolveWatchdog
 from repro.server import protocol
 from repro.server.singleflight import FlightOutcome, SingleFlightTable
 
@@ -99,12 +106,30 @@ class ServerConfig:
     default_budget_ms: int | None = None
     cache: ImplicationCache | None = None
     inject: FaultPlan | None = None
-    #: Honor the ``delay_ms`` request field (testing instrument for
-    #: queue/drain behavior, like ``--inject`` is for fault paths).
+    #: Honor the ``delay_ms`` and ``wedge`` request fields (testing
+    #: instruments for queue/drain/watchdog behavior, like
+    #: ``--inject`` is for fault paths).  ``delay_ms`` sleeps
+    #: cooperatively (polls the cancel flag); ``wedge`` spins without
+    #: polling, modelling a solve that stopped cooperating.
     allow_delay: bool = False
     #: Write the bound port here after startup (atomic), for smoke
     #: tests and supervisors that start the daemon on port 0.
     port_file: str | None = None
+    #: Grace past a solve's deadline before the watchdog trips its
+    #: cooperative cancel flag.  0 disables the watchdog entirely.
+    watchdog_grace_ms: int = 5000
+    #: Further grace after the cooperative cancel before the wedged
+    #: solver thread is retired and replaced (None = same as
+    #: ``watchdog_grace_ms``).
+    watchdog_hard_grace_ms: int | None = None
+    #: Implicit watchdog deadline for solves that arrived without a
+    #: budget (None = unbudgeted solves are not watched).
+    watchdog_max_solve_ms: int | None = None
+    #: Per-pool-worker RLIMIT_AS ceiling in MiB (None = uncapped).
+    max_worker_mb: int | None = None
+    #: Degrade pooled solves to in-process sharded scans once this
+    #: process's RSS passes this many MiB (None = no guard).
+    memory_guard_mb: int | None = None
 
 
 @dataclass
@@ -117,6 +142,9 @@ class _Admitted:
     key: str | None = None
     future: "asyncio.Future[FlightOutcome] | None" = None
     admitted_at: float = 0.0
+    #: The solve's cooperative-cancel flag (daemon-owned; the watchdog
+    #: trips it past deadline + grace).  None when unwatched.
+    cancel: CancelFlag | None = None
 
 
 class ImplicationServer:
@@ -135,7 +163,9 @@ class ImplicationServer:
         self._workers: list[asyncio.Task] = []
         self._connections: set[asyncio.Task] = set()
         self._drain_event: asyncio.Event | None = None
-        self._executor = None
+        self._solver_pool: RetiringSolverPool | None = None
+        self._watchdog: SolveWatchdog | None = None
+        self._leaked_cancels: list = []
         self._ewma_solve_s: float | None = None
         self.counters = {
             "requests": 0,
@@ -153,6 +183,7 @@ class ImplicationServer:
             "dedup_followers": 0,
             "drain_refusals": 0,
             "protocol_errors": 0,
+            "hung_solves": 0,
         }
 
     # -- lifecycle ----------------------------------------------------
@@ -176,15 +207,12 @@ class ImplicationServer:
         return 0
 
     async def start(self) -> None:
-        from concurrent.futures import ThreadPoolExecutor
-
         loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue(maxsize=self.config.max_queue)
         self._drain_event = asyncio.Event()
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.config.solver_threads,
-            thread_name_prefix="repro-solve",
-        )
+        self._solver_pool = RetiringSolverPool(self.config.solver_threads)
+        if self.config.watchdog_grace_ms > 0:
+            self._watchdog = SolveWatchdog()
         self._workers = [
             loop.create_task(self._worker())
             for _ in range(self.config.solver_threads)
@@ -259,9 +287,22 @@ class ImplicationServer:
         if self._workers:
             await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
+        if self._solver_pool is not None:
+            # Never joins: a wedged solver thread (the very thing the
+            # watchdog exists for) must not block a clean drain.
+            self._solver_pool.shutdown()
+            self._solver_pool = None
+        # Reclaim the cancel flags parked by hung solves: a wedged
+        # thread still polling one observes a released flag as
+        # "cancelled" (CancelFlag.is_set is defensive), so unlinking
+        # here is safe and a long-lived embedder leaks no segments.
+        for cancel in self._leaked_cancels:
+            with contextlib.suppress(Exception):
+                cancel.release()
+        self._leaked_cancels = []
         if self.config.cache is not None:
             self.config.cache.flush_counters()
         # The long-lived process owns the warm pool; retire it here so
@@ -378,6 +419,10 @@ class ImplicationServer:
             "counters": dict(self.counters),
             "warm_pool": warm_pool_stats(),
         }
+        if self._solver_pool is not None:
+            stats["solver_pool"] = self._solver_pool.stats()
+        if self._watchdog is not None:
+            stats["watchdog"] = self._watchdog.stats()
         if self.config.cache is not None:
             stats["cache"] = self.config.cache.stats()
         return protocol.ok_response(request_id, **stats)
@@ -415,6 +460,7 @@ class ImplicationServer:
                 return self._imply_response(
                     request_id, outcome, form, fragment, request, "follower"
                 )
+            cancel = self._make_cancel(deadline)
             admission_error = self._admit(
                 _Admitted(
                     op="imply",
@@ -425,15 +471,20 @@ class ImplicationServer:
                         delay_ms,
                         form,
                         request,
+                        cancel,
                     ),
                     deadline=deadline,
                     key=form.key,
                     admitted_at=time.monotonic(),
+                    cancel=cancel,
                 ),
                 request_id,
                 deadline,
             )
             if admission_error is not None:
+                if cancel is not None:
+                    with contextlib.suppress(Exception):
+                        cancel.release()
                 self._flights.abandon(form.key)
                 return admission_error
             outcome = await asyncio.shield(flight.future)
@@ -444,6 +495,7 @@ class ImplicationServer:
         future: asyncio.Future[FlightOutcome] = (
             asyncio.get_running_loop().create_future()
         )
+        cancel = self._make_cancel(deadline)
         admission_error = self._admit(
             _Admitted(
                 op="imply",
@@ -454,20 +506,43 @@ class ImplicationServer:
                     delay_ms,
                     None,
                     request,
+                    cancel,
                 ),
                 deadline=deadline,
                 future=future,
                 admitted_at=time.monotonic(),
+                cancel=cancel,
             ),
             request_id,
             deadline,
         )
         if admission_error is not None:
+            if cancel is not None:
+                with contextlib.suppress(Exception):
+                    cancel.release()
             return admission_error
         outcome = await asyncio.shield(future)
         return self._imply_response(
             request_id, outcome, None, fragment, request, "solo"
         )
+
+    def _make_cancel(self, deadline: float | None) -> CancelFlag | None:
+        """A cooperative-cancel flag, but only when it can ever fire.
+
+        A flag is a shared-memory segment; allocating one per request
+        would tax every solve for a watchdog that may never trip.  So
+        one exists only when the watchdog is on *and* this solve will
+        actually be watched (it has a deadline, or the server imposes
+        an implicit one via ``watchdog_max_solve_ms``).
+        """
+        if self._watchdog is None:
+            return None
+        if deadline is None and self.config.watchdog_max_solve_ms is None:
+            return None
+        try:
+            return CancelFlag.create()
+        except Exception:  # noqa: BLE001 - degraded: unwatchable cancel
+            return None
 
     def _parse_imply(
         self, request: dict
@@ -533,7 +608,6 @@ class ImplicationServer:
 
     async def _worker(self) -> None:
         assert self._queue is not None
-        loop = asyncio.get_running_loop()
         while True:
             item = await self._queue.get()
             try:
@@ -548,6 +622,7 @@ class ImplicationServer:
                     waited_ms = (
                         time.monotonic() - item.admitted_at
                     ) * 1e3
+                    self._discard_cancel(item)
                     outcome = FlightOutcome(
                         kind="rejected",
                         reason=(
@@ -556,9 +631,7 @@ class ImplicationServer:
                         ),
                     )
                 else:
-                    outcome = await loop.run_in_executor(
-                        self._executor, item.solve_fn
-                    )
+                    outcome = await self._run_solve(item)
                     if outcome.kind == "solved":
                         self.counters["solved"] += 1
                         elapsed_s = outcome.elapsed_ms / 1e3
@@ -591,6 +664,99 @@ class ImplicationServer:
             finally:
                 self._queue.task_done()
 
+    async def _run_solve(self, item: _Admitted) -> FlightOutcome:
+        """Run one admitted item on the solver pool, watched.
+
+        The watchdog escalates in two steps: past ``deadline + grace``
+        it trips the solve's cooperative :class:`CancelFlag` (polled
+        by every scan/chase of the portfolio); past a further hard
+        grace it retires the wedged solver thread — the pool spawns a
+        replacement so capacity is restored — and fails the future
+        with :class:`HungSolveError`.  Either way the caller gets an
+        honest UNKNOWN; a definite certificate is kept only when the
+        solve delivered it itself (late but sound answers stand — the
+        certificate is verifiable regardless of how long it took).
+        """
+        assert self._solver_pool is not None
+        pool = self._solver_pool
+        future = pool.submit(item.solve_fn)
+        handle = None
+        if self._watchdog is not None:
+            wd_deadline = item.deadline
+            max_ms = self.config.watchdog_max_solve_ms
+            if wd_deadline is None and max_ms is not None:
+                wd_deadline = item.admitted_at + max_ms / 1e3
+            if wd_deadline is not None:
+                hard_ms = self.config.watchdog_hard_grace_ms
+                if hard_ms is None:
+                    hard_ms = self.config.watchdog_grace_ms
+                cancel = item.cancel
+                handle = self._watchdog.watch(
+                    deadline=wd_deadline,
+                    grace_s=self.config.watchdog_grace_ms / 1e3,
+                    hard_grace_s=hard_ms / 1e3,
+                    on_cancel=(
+                        cancel.set if cancel is not None else lambda: None
+                    ),
+                    on_hang=lambda: pool.retire_running(
+                        future,
+                        HungSolveError(
+                            "solve exceeded its deadline and grace, "
+                            "ignored cooperative cancellation, and was "
+                            "abandoned; the solver thread was retired "
+                            "and replaced"
+                        ),
+                    ),
+                    label=item.op,
+                )
+        hung = False
+        try:
+            outcome = await asyncio.wrap_future(future)
+        except HungSolveError as exc:
+            hung = True
+            outcome = FlightOutcome(kind="hung", reason=str(exc))
+        finally:
+            if handle is not None:
+                handle.close()
+        if item.cancel is not None:
+            if hung:
+                # The wedged thread may still be polling the flag, so
+                # releasing it now would pull the buffer out from
+                # under an abandoned reader.  Park it until stop(),
+                # when a released flag reads as "cancelled" to any
+                # straggler and the segment can be reclaimed.
+                self._leaked_cancels.append(item.cancel)
+                item.cancel = None
+            else:
+                self._discard_cancel(item)
+        if hung:
+            self.counters["hung_solves"] += 1
+            return outcome
+        if handle is not None and handle.tripped:
+            if (
+                outcome.kind == "solved"
+                and outcome.result is not None
+                and outcome.result.answer.is_definite
+            ):
+                return outcome
+            self.counters["hung_solves"] += 1
+            return FlightOutcome(
+                kind="hung",
+                reason=(
+                    "solve exceeded its deadline and grace; "
+                    "cooperatively cancelled by the watchdog"
+                ),
+                elapsed_ms=outcome.elapsed_ms,
+            )
+        return outcome
+
+    @staticmethod
+    def _discard_cancel(item: _Admitted) -> None:
+        if item.cancel is not None:
+            with contextlib.suppress(Exception):
+                item.cancel.release()
+            item.cancel = None
+
     def _resolve(self, item: _Admitted, outcome: FlightOutcome) -> None:
         if item.key is not None:
             self._flights.resolve(item.key, outcome)
@@ -604,11 +770,33 @@ class ImplicationServer:
         delay_ms: int,
         form: CanonicalForm | None,
         request: dict,
+        cancel: CancelFlag | None = None,
     ) -> FlightOutcome:
         """Runs on a solver thread; must never raise."""
         start = time.monotonic()
+        if self.config.allow_delay and request.get("wedge"):
+            # Testing instrument: a solve that stopped cooperating —
+            # it never polls its cancel flag, so only the watchdog's
+            # hard escalation (thread retirement) can reclaim the
+            # capacity it occupies.  Bounded by daemon lifetime so a
+            # stopped test server never leaks a spinning thread.
+            while self.state != "stopped":
+                time.sleep(0.05)
+            return FlightOutcome(kind="rejected", reason="server stopped")
         if delay_ms > 0 and self.config.allow_delay:
-            time.sleep(delay_ms / 1e3)
+            # Cooperative counterpart of ``wedge``: sleeps in short
+            # slices and honors the watchdog's cancel between them.
+            end = time.monotonic() + delay_ms / 1e3
+            while True:
+                left = end - time.monotonic()
+                if left <= 0:
+                    break
+                if cancel is not None and cancel.is_set:
+                    return FlightOutcome(
+                        kind="rejected",
+                        reason="cancelled by the watchdog during delay",
+                    )
+                time.sleep(min(0.05, left))
         remaining = None
         if deadline is not None:
             remaining = deadline - time.monotonic()
@@ -626,6 +814,9 @@ class ImplicationServer:
                 max_respawns=self.config.max_respawns,
                 inject=self.config.inject,
                 cache=self.config.cache,
+                cancel=cancel,
+                max_worker_mb=self.config.max_worker_mb,
+                memory_guard_mb=self.config.memory_guard_mb,
             )
         except (ReproError, ValueError) as exc:
             return FlightOutcome(
@@ -659,6 +850,8 @@ class ImplicationServer:
     ) -> dict:
         if outcome.kind == "rejected":
             return protocol.rejected_response(request_id, outcome.reason)
+        if outcome.kind == "hung":
+            return protocol.hung_response(request_id, outcome.reason)
         if outcome.kind == "error":
             return protocol.error_response(request_id, outcome.error)
         result = outcome.result
@@ -860,6 +1053,8 @@ class ImplicationServer:
         outcome = await asyncio.shield(future)
         if outcome.kind == "rejected":
             return protocol.rejected_response(request_id, outcome.reason)
+        if outcome.kind == "hung":
+            return protocol.hung_response(request_id, outcome.reason)
         if outcome.kind == "error":
             return protocol.error_response(request_id, outcome.error)
         response = protocol.ok_response(request_id, **(outcome.wire or {}))
@@ -920,6 +1115,8 @@ class ImplicationServer:
         outcome = await asyncio.shield(future)
         if outcome.kind == "rejected":
             return protocol.rejected_response(request_id, outcome.reason)
+        if outcome.kind == "hung":
+            return protocol.hung_response(request_id, outcome.reason)
         if outcome.kind == "error":
             return protocol.error_response(request_id, outcome.error)
         response = protocol.ok_response(request_id, **(outcome.wire or {}))

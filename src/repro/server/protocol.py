@@ -185,6 +185,32 @@ def rejected_response(request_id: Any, reason: str) -> dict:
     return out
 
 
+def hung_response(request_id: Any, reason: str) -> dict:
+    """The honest answer for a solve the watchdog had to abandon.
+
+    Same ``rejected``/UNKNOWN shape as a dead-budget rejection — a
+    hung solve proves nothing about the instance — plus a ``faults``
+    record carrying the ``hung_solve`` event (the wire shape of
+    :meth:`repro.reasoning.result.FaultReport.to_dict`), so the
+    abandonment is as auditable remotely as a worker crash is.
+    """
+    out = rejected_response(request_id, reason)
+    out["faults"] = {
+        "retries": 0,
+        "degradations": 0,
+        "answered_by": "",
+        "events": [
+            {
+                "kind": "hung_solve",
+                "engine": "watchdog",
+                "attempt": 0,
+                "detail": reason[:200],
+            }
+        ],
+    }
+    return out
+
+
 def result_to_wire(
     result: Any,
     fragment: str,

@@ -38,7 +38,9 @@ class FlightOutcome:
     ``result`` holds the :class:`ImplicationResult`), ``rejected``
     (the deadline expired while queued — the only honest payload is
     UNKNOWN), ``error`` (the request was admitted but the solver
-    raised).  ``canonical_countermodel`` is the serialized
+    raised), ``hung`` (the watchdog abandoned the solve — same honest
+    UNKNOWN as ``rejected``, plus an auditable ``hung_solve`` fault on
+    the wire).  ``canonical_countermodel`` is the serialized
     counter-model in the canonical alphabet (``None`` when absent or
     unserializable); ``wire`` carries op-specific extra payload for
     non-``imply`` work routed through the same queue.

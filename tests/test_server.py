@@ -677,3 +677,349 @@ class TestQueryOverTheWire:
                 assert response["status"] in ("ok", "rejected")
                 if response["status"] == "ok":
                     assert response["verdict"] == "unknown"
+
+
+# ---------------------------------------------------------------------------
+# Hostile wire input, straight at the daemon (no proxy in between)
+# ---------------------------------------------------------------------------
+
+
+def _frame(**fields) -> bytes:
+    fields.setdefault("v", protocol.PROTOCOL_VERSION)
+    return json.dumps(fields).encode() + b"\n"
+
+
+class TestHostileWire:
+    def test_mid_frame_disconnect_does_not_wedge_the_daemon(self):
+        with ServerHarness(port=0) as harness:
+            payload = _frame(op="imply", sigma=SIGMA, phi=PHI, id=1)
+            with socket.create_connection(
+                ("127.0.0.1", harness.port), timeout=5
+            ) as sock:
+                sock.sendall(payload[: len(payload) // 2])
+            # The half-frame connection is gone; a fresh client must
+            # be served as if nothing happened.
+            with harness.client() as client:
+                assert client.health()["status"] == "ok"
+                response = client.imply(SIGMA, PHI, jobs=1)
+                assert response["answer"] == "false"
+
+    def test_slow_loris_request_is_answered(self):
+        with ServerHarness(port=0) as harness:
+            payload = _frame(op="health", id=7)
+            with socket.create_connection(
+                ("127.0.0.1", harness.port), timeout=10
+            ) as sock:
+                for offset in range(0, len(payload), 3):
+                    sock.sendall(payload[offset : offset + 3])
+                    time.sleep(0.02)
+                reply = sock.makefile("rb").readline()
+            response = protocol.parse_response(reply)
+            assert response["status"] == "ok" and response["id"] == 7
+
+    def test_garbage_then_valid_frame_on_one_connection(self):
+        with ServerHarness(port=0) as harness:
+            with socket.create_connection(
+                ("127.0.0.1", harness.port), timeout=10
+            ) as sock:
+                reader = sock.makefile("rb")
+                sock.sendall(b"\xff\xfe this is not a frame\n")
+                error = protocol.parse_response(reader.readline())
+                assert error["status"] == "error"
+                # Keep-alive survives the hostile line: the next valid
+                # frame on the same connection is answered normally.
+                sock.sendall(_frame(op="health", id=9))
+                response = protocol.parse_response(reader.readline())
+                assert response["status"] == "ok" and response["id"] == 9
+            stats_client = harness.client()
+            with stats_client:
+                stats = stats_client.stats()
+            assert stats["counters"]["protocol_errors"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# The hung-solve watchdog over the wire
+# ---------------------------------------------------------------------------
+
+
+class TestHungSolveWatchdog:
+    def test_wedged_solves_answer_unknown_and_capacity_recovers(self):
+        # The PR's acceptance scenario: wedge as many consecutive
+        # solves as there are solver threads; each must come back an
+        # honest UNKNOWN carrying a hung_solve fault event, and a
+        # subsequent clean solve must be answered at full capacity.
+        threads = 2
+        with ServerHarness(
+            port=0,
+            solver_threads=threads,
+            allow_delay=True,
+            watchdog_grace_ms=200,
+            watchdog_hard_grace_ms=100,
+        ) as harness:
+            with harness.client(retries=0) as client:
+                for _ in range(threads):
+                    wedged = client.imply(
+                        SIGMA, PHI, jobs=1, budget_ms=100,
+                        no_dedup=True, wedge=True,
+                    )
+                    assert wedged["status"] == "rejected"
+                    assert wedged["answer"] == "unknown"
+                    kinds = [
+                        event["kind"]
+                        for event in wedged["faults"]["events"]
+                    ]
+                    assert "hung_solve" in kinds
+                fresh = client.imply(SIGMA, PHI, jobs=1, no_dedup=True)
+                assert fresh["status"] == "ok"
+                assert fresh["answer"] == "false"
+                stats = client.stats()
+                assert stats["counters"]["hung_solves"] == threads
+                pool = stats["solver_pool"]
+                assert pool["retired"] == threads
+                assert pool["threads"] == threads
+                watchdog = stats["watchdog"]
+                assert watchdog["hangs"] == threads
+
+    def test_wedge_is_refused_without_allow_delay(self):
+        # Without the testing instrument enabled, a wedge field is
+        # inert: the solve runs normally.
+        with ServerHarness(
+            port=0, solver_threads=1, watchdog_grace_ms=200
+        ) as harness:
+            with harness.client(retries=0) as client:
+                response = client.imply(
+                    SIGMA, PHI, jobs=1, no_dedup=True, wedge=True
+                )
+                assert response["status"] == "ok"
+                assert response["answer"] == "false"
+
+    def test_cooperative_cancel_during_delay(self):
+        # A delayed (cooperative) solve past its budget is cancelled
+        # at the soft grace; no thread needs to be retired for it.
+        with ServerHarness(
+            port=0,
+            solver_threads=1,
+            allow_delay=True,
+            watchdog_grace_ms=150,
+            watchdog_hard_grace_ms=5_000,
+        ) as harness:
+            with harness.client(retries=0) as client:
+                start = time.monotonic()
+                response = client.imply(
+                    SIGMA, PHI, jobs=1, budget_ms=100,
+                    no_dedup=True, delay_ms=30_000,
+                )
+                elapsed = time.monotonic() - start
+                assert response["status"] == "rejected"
+                assert response["answer"] == "unknown"
+                assert elapsed < 10.0
+                stats = client.stats()
+                assert stats["solver_pool"]["retired"] == 0
+
+    def test_watchdog_disabled_keeps_legacy_behavior(self):
+        with ServerHarness(
+            port=0, solver_threads=1, watchdog_grace_ms=0
+        ) as harness:
+            with harness.client(retries=0) as client:
+                response = client.imply(SIGMA, PHI, jobs=1)
+                assert response["status"] == "ok"
+                stats = client.stats()
+                assert "watchdog" not in stats
+
+
+# ---------------------------------------------------------------------------
+# Client failover, frame cap, retry_after carry
+# ---------------------------------------------------------------------------
+
+
+class _ScriptedServer:
+    """A hand-rolled one-thread server for client-side edge cases.
+
+    ``script`` is a list of callables, one per accepted connection;
+    each receives the connected socket and does whatever hostile or
+    degenerate thing the test needs.
+    """
+
+    def __init__(self, script) -> None:
+        self.script = list(script)
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(8)
+        self.port = self.listener.getsockname()[1]
+        self.accepted = 0
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def __enter__(self) -> "_ScriptedServer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5)
+
+    def _serve(self) -> None:
+        for act in self.script:
+            try:
+                conn, _ = self.listener.accept()
+            except OSError:
+                return
+            self.accepted += 1
+            try:
+                act(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+
+def _read_request(conn) -> dict:
+    data = conn.makefile("rb").readline()
+    return json.loads(data)
+
+
+class TestClientFailoverAndFraming:
+    def test_failover_to_second_endpoint_after_kill(self):
+        with ServerHarness(port=0, solver_threads=1) as first, \
+                ServerHarness(port=0, solver_threads=1) as second:
+            client = ServerClient(
+                endpoints=[
+                    ("127.0.0.1", first.port),
+                    ("127.0.0.1", second.port),
+                ],
+                retries=4,
+                backoff_base=0.01,
+                backoff_cap=0.1,
+                jitter_seed=0,
+                failure_threshold=1,
+                cooldown_s=0.5,
+            )
+            with client:
+                assert client.imply(WORD_SIGMA, WORD_PHI)["answer"] == "true"
+                assert client.port == first.port
+                first.client(retries=0).shutdown()
+                deadline = time.monotonic() + 10
+                while (
+                    first.server.state != "stopped"
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.02)
+                response = client.imply(
+                    WORD_SIGMA, WORD_PHI, no_dedup=True
+                )
+                assert response["status"] == "ok"
+                assert response["answer"] == "true"
+                assert client.port == second.port
+                states = client.endpoint_states()
+                assert states[0]["open"] is True
+                assert states[1]["open"] is False
+
+    def test_circuit_breaker_half_opens_after_cooldown(self):
+        # Endpoint A is dead from the start; after the cool-down the
+        # client probes it again (half-open) rather than never
+        # returning — a revived A must be rediscovered.
+        with ServerHarness(port=0, solver_threads=1) as alive:
+            dead = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            dead.bind(("127.0.0.1", 0))
+            dead_port = dead.getsockname()[1]
+            dead.close()  # nothing listens here
+            client = ServerClient(
+                endpoints=[
+                    ("127.0.0.1", dead_port),
+                    ("127.0.0.1", alive.port),
+                ],
+                retries=3,
+                backoff_base=0.01,
+                backoff_cap=0.05,
+                jitter_seed=1,
+                failure_threshold=1,
+                cooldown_s=0.05,
+            )
+            with client:
+                assert client.health()["status"] == "ok"
+                assert client.port == alive.port
+                time.sleep(0.1)
+                # Past the cool-down the breaker is half-open again.
+                states = client.endpoint_states()
+                assert states[0]["open"] is False
+
+    def test_oversize_response_frame_is_protocol_error(self):
+        def huge(conn):
+            _read_request(conn)
+            conn.sendall(b"x" * (protocol.MAX_LINE_BYTES + 64) + b"\n")
+
+        with _ScriptedServer([huge]) as server:
+            client = ServerClient(
+                "127.0.0.1", server.port, retries=0, timeout=10
+            )
+            with client:
+                with pytest.raises(ServerUnavailable) as excinfo:
+                    client.health()
+            assert "exceeds" in str(excinfo.value)
+
+    def test_mismatched_response_id_is_desync_not_an_answer(self):
+        def wrong_id(conn):
+            request = _read_request(conn)
+            frame = {
+                "v": protocol.PROTOCOL_VERSION,
+                "status": "ok",
+                "id": request["id"] + 1000,
+                "answer": "true",
+            }
+            conn.sendall(json.dumps(frame).encode() + b"\n")
+
+        with _ScriptedServer([wrong_id]) as server:
+            client = ServerClient(
+                "127.0.0.1", server.port, retries=0, timeout=10
+            )
+            with client:
+                with pytest.raises(ServerUnavailable) as excinfo:
+                    client.health()
+            assert "desynchronized" in str(excinfo.value)
+
+    def test_retry_after_hint_survives_final_transport_failure(self):
+        # Attempt 1 gets an overloaded response with a hint; attempt 2
+        # dies on transport.  The final ServerUnavailable must still
+        # carry the hint — it is the only pacing signal the caller
+        # has.
+        def overloaded(conn):
+            request = _read_request(conn)
+            frame = {
+                "v": protocol.PROTOCOL_VERSION,
+                "status": "overloaded",
+                "id": request["id"],
+                "retry_after_ms": 1234,
+            }
+            conn.sendall(json.dumps(frame).encode() + b"\n")
+
+        def slam(conn):
+            _read_request(conn)
+
+        with _ScriptedServer([overloaded, slam]) as server:
+            client = ServerClient(
+                "127.0.0.1",
+                server.port,
+                retries=1,
+                backoff_base=0.01,
+                backoff_cap=0.02,
+                jitter_seed=0,
+                timeout=10,
+            )
+            with client:
+                with pytest.raises(ServerUnavailable) as excinfo:
+                    client.health()
+            assert excinfo.value.retry_after_ms == 1234
+
+    def test_parse_endpoints_grammar(self):
+        from repro.server import parse_endpoints
+
+        assert parse_endpoints("h:1") == [("h", 1)]
+        assert parse_endpoints("h1:1, h2:2") == [("h1", 1), ("h2", 2)]
+        with pytest.raises(ValueError):
+            parse_endpoints("")
+        with pytest.raises(ValueError):
+            parse_endpoints("h1:1,nonsense")
